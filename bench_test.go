@@ -1,0 +1,89 @@
+package rnrsim_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its artefact from scratch (workload build +
+// all simulations); a single iteration takes seconds, so `go test -bench`
+// settles at N=1 per benchmark. Run the full-scale regeneration with
+// cmd/experiments instead; these benches exist so `go test -bench=.`
+// exercises every experiment end to end and reports its cost.
+
+import (
+	"testing"
+
+	"rnrsim"
+	"rnrsim/internal/apps"
+	"rnrsim/internal/bench"
+	"rnrsim/internal/sim"
+)
+
+func newSuite() *bench.Suite {
+	s := bench.NewSuite(apps.ScaleTest)
+	s.Config = sim.Test()
+	return s
+}
+
+func runExperiment(b *testing.B, f func(*bench.Suite) *bench.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		t := f(s)
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { runExperiment(b, (*bench.Suite).Fig1) }
+func BenchmarkFig6(b *testing.B)  { runExperiment(b, (*bench.Suite).Fig6) }
+func BenchmarkFig7(b *testing.B)  { runExperiment(b, (*bench.Suite).Fig7) }
+func BenchmarkFig8(b *testing.B)  { runExperiment(b, (*bench.Suite).Fig8) }
+func BenchmarkFig9(b *testing.B)  { runExperiment(b, (*bench.Suite).Fig9) }
+func BenchmarkFig10(b *testing.B) { runExperiment(b, (*bench.Suite).Fig10) }
+func BenchmarkFig11(b *testing.B) { runExperiment(b, (*bench.Suite).Fig11) }
+func BenchmarkFig12(b *testing.B) { runExperiment(b, (*bench.Suite).Fig12) }
+func BenchmarkFig13(b *testing.B) { runExperiment(b, (*bench.Suite).Fig13) }
+func BenchmarkFig14(b *testing.B) { runExperiment(b, (*bench.Suite).Fig14) }
+
+func BenchmarkTableII(b *testing.B)  { runExperiment(b, (*bench.Suite).TableII) }
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, (*bench.Suite).TableIII) }
+func BenchmarkTableIV(b *testing.B)  { runExperiment(b, (*bench.Suite).TableIV) }
+
+func BenchmarkRecordOverhead(b *testing.B) { runExperiment(b, (*bench.Suite).RecordOverhead) }
+func BenchmarkHardwareOverhead(b *testing.B) {
+	runExperiment(b, (*bench.Suite).HardwareOverhead)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec)
+// on the PageRank/urand baseline — useful when tuning the simulator.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, err := rnrsim.Simulate(rnrsim.TestMachine(), app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkRnRReplay measures the full RnR pipeline (record + replay).
+func BenchmarkRnRReplay(b *testing.B) {
+	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rnrsim.TestMachine()
+	cfg.Prefetcher = rnrsim.RnR
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rnrsim.Simulate(cfg, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command rnrsim runs one workload/input under one or more prefetcher
+// configurations on the scaled Table II machine and prints the paper's
+// headline metrics for each against the no-prefetch baseline.
+//
+// Usage:
+//
+//	rnrsim -workload pagerank -input urand -prefetchers rnr,nextline
+//	rnrsim -workload spcg -input bbmat -scale test -window 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/sim"
+)
+
+func main() {
+	workload := flag.String("workload", "pagerank", "pagerank, hyperanf or spcg")
+	input := flag.String("input", "urand", "input name (see DESIGN.md Table III)")
+	scale := flag.String("scale", "bench", "input scale: test, bench or large")
+	pfs := flag.String("prefetchers", "rnr,rnr-combined,nextline",
+		"comma-separated prefetchers (none,nextline,stream,ghb,misb,bingo,stems,droplet,imp,rnr,rnr-combined)")
+	window := flag.Uint64("window", 0, "RnR window size in lines (0 = half the L2)")
+	control := flag.String("control", "window+pace", "RnR timing control: nocontrol, window, window+pace")
+	iters := flag.Int("iters", 100, "iterations speedups are composed to")
+	flag.Parse()
+
+	var sc apps.Scale
+	switch *scale {
+	case "test":
+		sc = apps.ScaleTest
+	case "bench":
+		sc = apps.ScaleBench
+	case "large":
+		sc = apps.ScaleLarge
+	default:
+		fatal("unknown scale %q", *scale)
+	}
+	var ctl rnr.TimingControl
+	switch *control {
+	case "nocontrol":
+		ctl = rnr.NoControl
+	case "window":
+		ctl = rnr.WindowControl
+	case "window+pace":
+		ctl = rnr.WindowPaceControl
+	default:
+		fatal("unknown control %q", *control)
+	}
+
+	app, err := apps.Build(*workload, *input, sc)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "built %s/%s: %d records, %d instructions\n",
+		app.Name, app.Input, app.Records(), app.Instructions())
+
+	mk := func(pf sim.PrefetcherKind) sim.Config {
+		// Pair the machine with the input scale: the miniature machine
+		// keeps the tiny test inputs DRAM-bound, like the scaled machine
+		// does for the bench inputs.
+		cfg := sim.Scaled()
+		if sc == apps.ScaleTest {
+			cfg = sim.Test()
+		}
+		cfg.Prefetcher = pf
+		cfg.RnRWindow = *window
+		cfg.RnRControl = ctl
+		return cfg
+	}
+	base, err := sim.Run(mk(sim.PFNone), app)
+	if err != nil {
+		fatal("baseline: %v", err)
+	}
+	fmt.Printf("%-14s %10s %8s %8s %8s %9s %9s\n",
+		"prefetcher", "cycles", "IPC", "L2MPKI", "speedup", "coverage", "accuracy")
+	fmt.Printf("%-14s %10d %8.3f %8.1f %8s %9s %9s\n",
+		"baseline", base.Cycles, base.IPC(), base.L2MPKI(), "1.00", "-", "-")
+	for _, name := range strings.Split(*pfs, ",") {
+		pf := sim.PrefetcherKind(strings.TrimSpace(name))
+		if pf == sim.PFNone || pf == "" {
+			continue
+		}
+		r, err := sim.Run(mk(pf), app)
+		if err != nil {
+			fatal("%s: %v", pf, err)
+		}
+		fmt.Printf("%-14s %10d %8.3f %8.1f %8.2f %9.2f %9.2f\n",
+			pf, r.Cycles, r.IPC(), r.L2MPKI(),
+			r.ComposedSpeedup(base, *iters), r.Coverage(base), r.Accuracy())
+		if pf == sim.PFRnR || pf == sim.PFRnRCombined {
+			tl := r.TimelinessBreakdown()
+			fmt.Printf("  rnr: recorded %d entries in %d windows, metadata %.1f KB (%.1f%% of input), "+
+				"record overhead %.1f%%, timeliness on-time %.0f%% early %.0f%% late %.0f%% out-of-window %.0f%%\n",
+				r.RnR.RecordedEntries, r.RnR.RecordedWindows,
+				float64(r.RnR.MetadataBytes())/1024, r.StorageOverheadPct(),
+				r.RecordOverheadPct(base),
+				tl.OnTime*100, tl.Early*100, tl.Late*100, tl.OutOfWindow*100)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rnrsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// PageRank prefetcher shoot-out: runs the paper's Fig. 1 style comparison
+// on one graph — every prefetcher class against the baseline — and prints
+// coverage/accuracy/speedup per design.
+//
+//	go run ./examples/pagerank            # amazon-style community graph
+//	go run ./examples/pagerank -input urand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rnrsim"
+)
+
+func main() {
+	input := flag.String("input", "amazon", "graph: urand, amazon, com-orkut, roadUSA")
+	flag.Parse()
+
+	app, err := rnrsim.BuildWorkload("pagerank", *input, rnrsim.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PageRank on %s (rank mass check: %.4f, want ~1.0)\n\n", *input, app.Check)
+
+	base, err := rnrsim.Simulate(rnrsim.TestMachine(), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Fig. 1 line-up: one prefetcher per class.
+	lineup := []rnrsim.Prefetcher{
+		rnrsim.NextLine, // regular-pattern
+		rnrsim.Bingo,    // spatial
+		rnrsim.MISB,     // temporal (off-chip metadata)
+		rnrsim.SteMS,    // spatio-temporal
+		rnrsim.Droplet,  // graph-domain
+		rnrsim.RnR,      // this paper
+	}
+	fmt.Printf("%-10s %9s %9s %8s\n", "design", "coverage", "accuracy", "speedup")
+	for _, pf := range lineup {
+		cfg := rnrsim.TestMachine()
+		cfg.Prefetcher = pf
+		res, err := rnrsim.Simulate(cfg, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.0f%% %8.0f%% %7.2fx\n",
+			pf, res.Coverage(base)*100, res.Accuracy()*100,
+			res.ComposedSpeedup(base, 100))
+	}
+	fmt.Println("\npaper's Fig. 1: RnR sits alone in the top-right corner —")
+	fmt.Println("high coverage AND high accuracy — because it replays the exact")
+	fmt.Println("recorded miss sequence instead of predicting it.")
+}

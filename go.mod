@@ -1,0 +1,3 @@
+module rnrsim
+
+go 1.22

@@ -1,0 +1,110 @@
+// Package apps implements the paper's three workloads — vertex-centric
+// PageRank (Ligra-style, Algorithm 1), edge-centric HyperANF (X-Stream
+// style, with real HyperLogLog counters) and spCG (conjugate gradient with
+// an SpMV kernel) — as *trace-emitting twins*: each app runs the real
+// algorithm on real data and simultaneously emits the memory accesses its
+// kernel performs on the major arrays, one trace per SPMD worker (§VI).
+//
+// The emitted traces include the RnR software-interface markers exactly as
+// Algorithm 1 places them, so the same trace drives every configuration:
+// prefetchers that ignore the markers see the plain program.
+package apps
+
+import (
+	"rnrsim/internal/mem"
+	"rnrsim/internal/prefetch"
+	"rnrsim/internal/trace"
+)
+
+// App is one workload instance: per-core traces plus the layout metadata
+// the domain prefetchers and the evaluation need.
+type App struct {
+	Name  string // "pagerank", "hyperanf", "spcg"
+	Input string // "urand", "amazon", ...
+	Cores int
+
+	// Traces holds one record slice per core (SPMD: same program).
+	Traces [][]trace.Record
+
+	// InputBytes is the in-memory input footprint, the denominator of the
+	// Fig. 13 storage overhead.
+	InputBytes uint64
+
+	// Targets are the irregularly-accessed structures RnR is pointed at.
+	Targets []mem.Region
+	// EdgeRegion is the streamed index/edge array (DROPLET's software
+	// hint, IMP's index stream).
+	EdgeRegion mem.Region
+	// Resolve maps an edge/index line to the data lines it references,
+	// standing in for hardware value inspection (see prefetch package).
+	Resolve prefetch.IndirectResolver
+	// MakeResolver rebuilds Resolve against a new target base address.
+	// The simulator calls it when the program re-points boundary slot 0
+	// (the p_curr/p_next swap), mirroring how DROPLET's software
+	// interface would be re-programmed each iteration. Nil when the
+	// target never moves.
+	MakeResolver func(base mem.Addr) prefetch.IndirectResolver
+
+	// Iterations is the total kernel iterations in the trace:
+	// 1 warm-up + 1 record + (Iterations-2) replays.
+	Iterations int
+
+	// Check is an algorithm-specific correctness scalar (PageRank mass,
+	// HyperANF neighbourhood estimate, CG residual) for validation.
+	Check float64
+}
+
+// Sources returns fresh trace sources over the app's per-core traces.
+func (a *App) Sources() []*trace.SliceSource {
+	out := make([]*trace.SliceSource, len(a.Traces))
+	for i, recs := range a.Traces {
+		out[i] = trace.NewSliceSource(recs)
+	}
+	return out
+}
+
+// Records returns the total record count across cores.
+func (a *App) Records() int {
+	n := 0
+	for _, t := range a.Traces {
+		n += len(t)
+	}
+	return n
+}
+
+// Instructions returns the total dynamic instruction count across cores.
+func (a *App) Instructions() uint64 {
+	var n uint64
+	for _, recs := range a.Traces {
+		for _, r := range recs {
+			n += r.Instructions()
+		}
+	}
+	return n
+}
+
+// Synthetic PC bases, one block per app so access sites never collide.
+const (
+	pcPageRank uint64 = 0x4000
+	pcHyperANF uint64 = 0x5000
+	pcSpCG     uint64 = 0x6000
+)
+
+// layout is the shared address-space plan built by each app's master.
+type layout struct {
+	al *mem.Allocator
+}
+
+func newLayout() *layout { return &layout{al: mem.NewAllocator(0x1000_0000)} }
+
+// metaTables allocates per-core RnR metadata (sequence + division tables),
+// as RnR.init() does from the heap.
+func (l *layout) metaTables(cores int, seqBytes, divBytes uint64) (seq, div []mem.Region) {
+	seq = make([]mem.Region, cores)
+	div = make([]mem.Region, cores)
+	for c := 0; c < cores; c++ {
+		seq[c] = l.al.AllocPage("rnr.seq", seqBytes)
+		div[c] = l.al.AllocPage("rnr.div", divBytes)
+	}
+	return seq, div
+}

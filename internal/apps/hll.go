@@ -1,0 +1,76 @@
+package apps
+
+import "math"
+
+// HyperLogLog counters for HyperANF [13]: each vertex carries a small HLL
+// sketch of the set of vertices within distance t; one HyperANF iteration
+// unions each vertex's sketch with its neighbours' sketches, so after t
+// iterations the sketch estimates |ball(v, t)| — the neighbourhood
+// function. This is the real data structure, not a stand-in: the estimates
+// are checked in tests against exact BFS ball sizes.
+
+// hllRegisters is the sketch width: 16 registers = 2^4 buckets, the small
+// configuration HyperANF uses to keep per-vertex state compact (16 B, so
+// four sketches share a cache line).
+const (
+	hllP         = 4
+	hllRegisters = 1 << hllP // 16
+)
+
+// HLL is one vertex's sketch.
+type HLL [hllRegisters]uint8
+
+// splitmix64 is the hash; good avalanche, stdlib-only.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts element x.
+func (h *HLL) Add(x uint64) {
+	v := splitmix64(x)
+	bucket := v & (hllRegisters - 1)
+	rest := v >> hllP
+	rank := uint8(1)
+	for rest&1 == 0 && rank < 64-hllP {
+		rank++
+		rest >>= 1
+	}
+	if rank > h[bucket] {
+		h[bucket] = rank
+	}
+}
+
+// Union merges other into h and reports whether h changed.
+func (h *HLL) Union(other *HLL) bool {
+	changed := false
+	for i := range h {
+		if other[i] > h[i] {
+			h[i] = other[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Estimate returns the cardinality estimate with the standard HLL bias
+// corrections (linear counting for small ranges).
+func (h *HLL) Estimate() float64 {
+	const m = float64(hllRegisters)
+	alpha := 0.673 // alpha_16
+	var sum float64
+	zeros := 0
+	for _, r := range h {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}

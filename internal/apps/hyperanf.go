@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"rnrsim/internal/graph"
+	"rnrsim/internal/mem"
+	"rnrsim/internal/prefetch"
+	"rnrsim/internal/trace"
+)
+
+// HyperANFConfig parameterises the HyperANF workload.
+type HyperANFConfig struct {
+	Cores      int
+	Iterations int
+	WindowSize uint64
+}
+
+// DefaultHyperANF returns the evaluation configuration.
+func DefaultHyperANF() HyperANFConfig {
+	return HyperANFConfig{Cores: 4, Iterations: 5}
+}
+
+// HyperANF builds the edge-centric HyperANF workload (X-Stream style
+// [44]): per iteration each worker streams its partition's edge list and,
+// for each edge (s -> v), unions the source sketch hll_curr[s] into the
+// destination sketch hll_next[v]. The sketch arrays are the irregular RnR
+// targets; the edge list is the stream DROPLET is configured with.
+func HyperANF(g *graph.Graph, input string, cfg HyperANFConfig) *App {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.Iterations < 3 {
+		cfg.Iterations = 3
+	}
+	n := g.N
+	const sketchBytes = hllRegisters // 16 B per vertex
+
+	l := newLayout()
+	offsets := l.al.AllocPage("anf.offsets", uint64(n+1)*8)
+	edges := l.al.AllocPage("anf.edges", uint64(g.M())*4)
+	hcurr := l.al.AllocPage("anf.hcurr", uint64(n)*sketchBytes)
+	hnext := l.al.AllocPage("anf.hnext", uint64(n)*sketchBytes)
+	perCore := uint64(g.M())/uint64(cfg.Cores)*2 + uint64(n) + 1024
+	seqT, divT := l.metaTables(cfg.Cores, perCore*4, perCore/16*8+4096)
+
+	part := graph.PartitionGraph(g, cfg.Cores)
+
+	// Real sketches.
+	cur := make([]HLL, n)
+	nxt := make([]HLL, n)
+	for v := 0; v < n; v++ {
+		cur[v].Add(uint64(v))
+	}
+
+	app := &App{
+		Name: "hyperanf", Input: input, Cores: cfg.Cores,
+		InputBytes: g.InputBytes() + uint64(n)*sketchBytes,
+		Targets:    []mem.Region{hcurr, hnext},
+		EdgeRegion: edges,
+		Iterations: cfg.Iterations,
+	}
+	mk := func(base mem.Addr) prefetch.IndirectResolver {
+		return func(line mem.Addr) []mem.Addr {
+			if !edges.Contains(line) {
+				return nil
+			}
+			first := int(uint64(line-edges.Base) / 4)
+			var out []mem.Addr
+			var last mem.Addr
+			for i := first; i < first+16 && i < len(g.Edges); i++ {
+				t := mem.LineAddr(base + mem.Addr(g.Edges[i])*sketchBytes)
+				if t != last {
+					out = append(out, t)
+					last = t
+				}
+			}
+			return out
+		}
+	}
+	app.Resolve = mk(hcurr.Base)
+	app.MakeResolver = mk
+
+	builders := make([]*trace.Builder, cfg.Cores)
+	for c := range builders {
+		b := trace.NewBuilder(1 << 16)
+		b.Exec(64)
+		b.RnRInit(seqT[c], divT[c], cfg.WindowSize)
+		b.AddrBaseSet(0, hcurr.Base, hcurr.Size)
+		b.AddrBaseSet(1, hnext.Base, hnext.Size)
+		b.ROIBegin()
+		builders[c] = b
+	}
+
+	parts := make([][]int, cfg.Cores)
+	for c := range parts {
+		parts[c] = part.Vertices(c)
+	}
+
+	curR, nxtR := hcurr, hnext
+	for it := 0; it < cfg.Iterations; it++ {
+		for c, b := range builders {
+			b.IterBegin(it)
+			switch it {
+			case 0:
+			case 1:
+				b.AddrBaseEnable(0)
+				b.RecordStart()
+			default:
+				b.Replay()
+			}
+			emitHyperANFIteration(b, g, parts[c], curR, nxtR, offsets, edges, sketchBytes)
+			b.IterEnd(it)
+			if it < cfg.Iterations-1 {
+				b.AddrBaseSet(0, nxtR.Base, nxtR.Size)
+				b.AddrBaseSet(1, curR.Base, curR.Size)
+				b.AddrBaseEnable(0)
+			}
+		}
+		// Real computation: nxt = cur unioned over in-neighbours.
+		copy(nxt, cur)
+		for v := 0; v < n; v++ {
+			for _, s := range g.Neighbors(v) {
+				nxt[v].Union(&cur[s])
+			}
+		}
+		cur, nxt = nxt, cur
+		curR, nxtR = nxtR, curR
+	}
+	for _, b := range builders {
+		b.PrefetchEnd()
+		b.RnREnd()
+		b.ROIEnd()
+		app.Traces = append(app.Traces, b.Records())
+	}
+
+	// Neighbourhood function estimate at the final radius.
+	var nf float64
+	for v := range cur {
+		nf += cur[v].Estimate()
+	}
+	app.Check = nf
+	return app
+}
+
+// emitHyperANFIteration emits the edge-centric kernel: stream edges, load
+// the source sketch (irregular), read-modify-write the destination sketch.
+func emitHyperANFIteration(b *trace.Builder, g *graph.Graph, vertices []int,
+	cur, next, offsets, edges mem.Region, sketchBytes uint64) {
+	const (
+		pcOff  = pcHyperANF + 0x00
+		pcEdge = pcHyperANF + 0x04
+		pcSrc  = pcHyperANF + 0x08
+		pcDst  = pcHyperANF + 0x0c
+		pcDstW = pcHyperANF + 0x10
+	)
+	for _, v := range vertices {
+		b.Load(pcOff, offsets.Base+mem.Addr(v)*8, 8, int32(offsets.ID))
+		b.Exec(1)
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		// Load own destination sketch once per vertex.
+		b.Load(pcDst, next.Base+mem.Addr(uint64(v)*sketchBytes), sketchBytes, int32(next.ID))
+		for k := lo; k < hi; k++ {
+			s := g.Edges[k]
+			b.Load(pcEdge, edges.Base+mem.Addr(k)*4, 4, int32(edges.ID))
+			// The irregular source-sketch load.
+			b.Load(pcSrc, cur.Base+mem.Addr(uint64(s)*sketchBytes), sketchBytes, int32(cur.ID))
+			b.Exec(6) // 16-register max-merge, vectorised
+		}
+		b.Store(pcDstW, next.Base+mem.Addr(uint64(v)*sketchBytes), sketchBytes, int32(next.ID))
+		b.Exec(2)
+	}
+}

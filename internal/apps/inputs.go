@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"fmt"
+
+	"rnrsim/internal/graph"
+	"rnrsim/internal/sparse"
+)
+
+// Scale selects input sizes. The paper simulates 500M-instruction windows
+// of full-size SNAP/SuiteSparse inputs on ChampSim; this reproduction
+// scales the inputs (and the caches, see sim.ScaledConfig) so the full
+// suite runs on a laptop while keeping miss ratios in the same regimes.
+type Scale int
+
+const (
+	// ScaleTest is for unit tests: seconds for the whole suite.
+	ScaleTest Scale = iota
+	// ScaleBench is for the experiment harness: the default.
+	ScaleBench
+	// ScaleLarge stresses bigger footprints (optional deep runs).
+	ScaleLarge
+)
+
+// GraphInputs returns the paper's four graph inputs (Table III) at the
+// given scale, in the paper's presentation order.
+func GraphInputs(s Scale) map[string]*graph.Graph {
+	var n, deg int
+	switch s {
+	case ScaleTest:
+		n, deg = 2000, 8
+	case ScaleLarge:
+		n, deg = 60000, 16
+	default:
+		n, deg = 16000, 12
+	}
+	side := isqrt(n)
+	return map[string]*graph.Graph{
+		"urand":     graph.Uniform(n, deg, 1001),
+		"amazon":    graph.Community(n*3/4, deg-2, 64, 0.12, 1002),
+		"com-orkut": graph.PowerLaw(n, deg+8, 1003),
+		"roadUSA":   graph.Road(side*2, side, 1004),
+	}
+}
+
+// GraphInputOrder is the paper's column order for graph figures.
+var GraphInputOrder = []string{"urand", "amazon", "com-orkut", "roadUSA"}
+
+// MatrixInputs returns the paper's four spCG inputs (Table III). The
+// generator parameters are chosen so the SpMV gather through the column
+// indices spans far more than the (scaled) private caches, as the
+// full-size SuiteSparse matrices span far more than 256 KB — otherwise
+// the irregular access the paper targets never misses.
+func MatrixInputs(s Scale) map[string]*sparse.Matrix {
+	switch s {
+	case ScaleTest:
+		return map[string]*sparse.Matrix{
+			"atmosmodj": sparse.Stencil3D(24, 10, 6), // z-plane 240 rows ~ 2 KB
+			"bbmat":     sparse.Banded(2500, 500, 0.006, 2001),
+			"nlpkkt80":  sparse.BlockStencil(16, 10, 4, 3),
+			"pdb1HYS":   sparse.ProteinBlocks(100, 12, 5, 2002),
+		}
+	case ScaleLarge:
+		return map[string]*sparse.Matrix{
+			"atmosmodj": sparse.Stencil3D(96, 72, 10),
+			"bbmat":     sparse.Banded(60000, 6000, 0.0012, 2001),
+			"nlpkkt80":  sparse.BlockStencil(48, 40, 6, 3),
+			"pdb1HYS":   sparse.ProteinBlocks(1200, 24, 8, 2002),
+		}
+	default:
+		return map[string]*sparse.Matrix{
+			// xy-plane 3072 rows = 24 KB > 16 KB L2.
+			"atmosmodj": sparse.Stencil3D(64, 48, 8),
+			// band half-width 2500 rows = 20 KB span, sparse fill.
+			"bbmat": sparse.Banded(20000, 2500, 0.0025, 2001),
+			// block-coupled stencil, xy stride 1024 cells x 3 = 24 KB.
+			"nlpkkt80": sparse.BlockStencil(32, 32, 4, 3),
+			// dense residue blocks + long-range contacts over 80 KB.
+			"pdb1HYS": sparse.ProteinBlocks(500, 20, 8, 2002),
+		}
+	}
+}
+
+// MatrixInputOrder is the paper's column order for spCG figures.
+var MatrixInputOrder = []string{"atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS"}
+
+// Build constructs the named workload ("pagerank", "hyperanf", "spcg") on
+// the named input at the given scale.
+func Build(workload, input string, s Scale) (*App, error) {
+	switch workload {
+	case "pagerank":
+		g, ok := GraphInputs(s)[input]
+		if !ok {
+			return nil, fmt.Errorf("apps: unknown graph input %q", input)
+		}
+		return PageRank(g, input, DefaultPageRank()), nil
+	case "hyperanf":
+		g, ok := GraphInputs(s)[input]
+		if !ok {
+			return nil, fmt.Errorf("apps: unknown graph input %q", input)
+		}
+		return HyperANF(g, input, DefaultHyperANF()), nil
+	case "spcg":
+		m, ok := MatrixInputs(s)[input]
+		if !ok {
+			return nil, fmt.Errorf("apps: unknown matrix input %q", input)
+		}
+		return SpCG(m, input, DefaultSpCG()), nil
+	}
+	return nil, fmt.Errorf("apps: unknown workload %q", workload)
+}
+
+// Workloads lists the paper's three applications in presentation order.
+var Workloads = []string{"pagerank", "hyperanf", "spcg"}
+
+// InputsFor returns the input column order for a workload.
+func InputsFor(workload string) []string {
+	if workload == "spcg" {
+		return MatrixInputOrder
+	}
+	return GraphInputOrder
+}
+
+func isqrt(n int) int {
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/sim"
+)
+
+func testSuite() *Suite {
+	s := NewSuite(apps.ScaleTest)
+	s.Config = sim.Test()
+	return s
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		ID:     "t1",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1.00")
+	tb.AddRow("beta-longer", "2.50")
+	tb.Note("a note with %d parts", 2)
+
+	text := tb.Format()
+	for _, want := range []string{"t1", "demo", "alpha", "beta-longer", "2.50", "note with 2 parts"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q in:\n%s", want, text)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| name | value |") || !strings.Contains(md, "| alpha | 1.00 |") {
+		t.Errorf("Markdown() malformed:\n%s", md)
+	}
+	if !strings.Contains(md, "### t1") {
+		t.Errorf("Markdown() missing heading:\n%s", md)
+	}
+}
+
+func TestGeomeanAndMean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if g := geomean([]float64{0, 4}); g != 4 { // zeroes skipped
+		t.Errorf("geomean(0,4) = %f", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %f", g)
+	}
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %f", m)
+	}
+	if m := mean(nil); m != 0 {
+		t.Errorf("mean(nil) = %f", m)
+	}
+}
+
+func TestSuiteMemoisesRuns(t *testing.T) {
+	s := testSuite()
+	calls := 0
+	s.Progress = func(string) { calls++ }
+	r1 := s.Baseline("pagerank", "urand")
+	r2 := s.Baseline("pagerank", "urand")
+	if r1 != r2 {
+		t.Error("baseline not memoised")
+	}
+	if calls != 1 {
+		t.Errorf("ran %d simulations for two identical requests", calls)
+	}
+	// A different variant tag must trigger a fresh run.
+	s.Run("pagerank", "urand", sim.PFNone, Variant{Tag: "other"})
+	if calls != 2 {
+		t.Errorf("variant tag did not trigger a run (calls=%d)", calls)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	s := testSuite()
+	for _, tb := range []*Table{s.TableII(), s.TableIII(), s.TableIV(), s.HardwareOverhead()} {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		if out := tb.Format(); len(out) < 40 {
+			t.Errorf("%s: suspiciously short output", tb.ID)
+		}
+	}
+	// Table III must list all eight inputs.
+	t3 := s.TableIII()
+	if len(t3.Rows) != 8 {
+		t.Errorf("tableIII has %d rows, want 8", len(t3.Rows))
+	}
+	// The hardware budget table must state the <1KB total.
+	hw := s.HardwareOverhead()
+	found := false
+	for _, row := range hw.Rows {
+		if row[0] == "TOTAL" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hw-overhead table missing TOTAL row")
+	}
+}
+
+func TestFig1ShapesRnRBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := testSuite()
+	tb := s.Fig1()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("fig1 rows = %d, want 6", len(tb.Rows))
+	}
+	// RnR (last row) must have the highest accuracy of the line-up.
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := sscanPct(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	rnrAcc := parse(tb.Rows[len(tb.Rows)-1][2])
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		if acc := parse(row[2]); acc >= rnrAcc {
+			t.Errorf("%s accuracy %.1f%% >= RnR %.1f%%", row[0], acc, rnrAcc)
+		}
+	}
+	if rnrAcc < 80 {
+		t.Errorf("RnR accuracy %.1f%%, want > 80%%", rnrAcc)
+	}
+}
+
+func TestFig13StorageOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := testSuite()
+	tb := s.Fig13()
+	if len(tb.Rows) == 0 {
+		t.Fatal("fig13 empty")
+	}
+	// Every per-input row must report a positive overhead.
+	for _, row := range tb.Rows {
+		if row[1] == "MEAN" {
+			continue
+		}
+		var v float64
+		if _, err := sscanPct(row[5], &v); err != nil {
+			t.Fatalf("bad overhead cell %q", row[5])
+		}
+		if v <= 0 || v > 100 {
+			t.Errorf("%s/%s overhead %.2f%% out of plausible range", row[0], row[1], v)
+		}
+	}
+}
+
+func TestRecordOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := testSuite()
+	tb := s.RecordOverhead()
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "MEAN" {
+		t.Fatalf("last row %v, want MEAN", last)
+	}
+	var v float64
+	if _, err := sscanPct(last[2], &v); err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~1%; the scaled substrate pays more for metadata
+	// writes, but recording must stay a modest one-iteration cost.
+	if v > 25 {
+		t.Errorf("mean record overhead %.1f%%, want < 25%%", v)
+	}
+}
+
+// sscanPct parses "12.3%" into v.
+func sscanPct(cell string, v *float64) (int, error) {
+	return fmt.Sscanf(cell, "%f%%", v)
+}

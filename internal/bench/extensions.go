@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/graph"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/sim"
+)
+
+// The experiments in this file go beyond the paper's figures, covering
+// claims the paper makes in prose: §IV-C (context-switch resilience) and
+// §V-E (multicore scalability).
+
+// CtxSwitch measures §IV-C: under periodic OS context switches, RnR
+// resumes from its in-memory metadata while conventional prefetchers
+// retrain from scratch.
+func (s *Suite) CtxSwitch() *Table {
+	t := &Table{
+		ID:    "ctx-switch",
+		Title: "Context-switch resilience (PageRank/urand, periodic descheduling)",
+		Header: []string{"prefetcher", "no-switch speedup", "switching speedup",
+			"accuracy kept"},
+	}
+	const w, in = "pagerank", "urand"
+	sw := sim.CtxSwitchConfig{Period: 150_000, Duration: 10_000}
+	mutate := func(c *sim.Config) { c.CtxSwitch = sw }
+
+	base := s.Baseline(w, in)
+	baseSw := s.Run(w, in, sim.PFNone, Variant{Tag: "ctxsw", Mutate: mutate})
+
+	for _, pf := range []sim.PrefetcherKind{sim.PFGHB, sim.PFMISB, sim.PFBingo, sim.PFRnR} {
+		plain := s.Run(w, in, pf, Variant{})
+		switched := s.Run(w, in, pf, Variant{Tag: "ctxsw", Mutate: mutate})
+		t.AddRow(string(pf),
+			f2(plain.ComposedSpeedup(base, s.ComposeIters)),
+			f2(switched.ComposedSpeedup(baseSw, s.ComposeIters)),
+			pct(switched.Accuracy()*100))
+	}
+	t.Note("paper §IV-C: RnR needs no retraining — 86.5 B of state is " +
+		"saved/restored and the metadata survives in process memory")
+	return t
+}
+
+// CoreScaling measures §V-E: hardware and metadata overhead growth with
+// core count, and whether the speedup survives partitioned execution.
+func (s *Suite) CoreScaling() *Table {
+	t := &Table{
+		ID:    "core-scaling",
+		Title: "Multicore scalability (PageRank/amazon)",
+		Header: []string{"cores", "speedup", "metadata KB total", "metadata % of input",
+			"HW bytes total"},
+	}
+	budget := rnr.Budget().TotalBytes()
+	for _, cores := range []int{1, 2, 4, 8} {
+		g := s.scalingGraph()
+		app := apps.PageRank(g, "amazon", apps.PageRankConfig{Cores: cores, Iterations: 5})
+		cfg := s.Config
+		cfg.Cores = cores
+		cfg.Prefetcher = sim.PFNone
+		base, err := sim.Run(cfg, app)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Prefetcher = sim.PFRnR
+		r, err := sim.Run(cfg, app)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(cores),
+			f2(r.ComposedSpeedup(base, s.ComposeIters)),
+			f1(float64(r.RnR.MetadataBytes())/1024),
+			pct(r.StorageOverheadPct()),
+			fmt.Sprintf("%.0f", budget*float64(cores)))
+	}
+	t.Note("paper §V-E: per-core state grows linearly (trivially small); " +
+		"partitioning keeps the per-core metadata roughly constant, so the " +
+		"total tracks the miss count, not the core count")
+	return t
+}
+
+// scalingGraph returns the shared input of the core-scaling sweep,
+// memoised so every core count records the same graph.
+func (s *Suite) scalingGraph() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scaleG == nil {
+		s.scaleG = apps.GraphInputs(s.Scale)["amazon"]
+	}
+	return s.scaleG
+}
+
+// DesignChoices measures the §III alternatives the paper rejects: naive
+// every-access recording (vs L2-miss recording) and prefetching into the
+// shared LLC (vs the private L2).
+func (s *Suite) DesignChoices() *Table {
+	t := &Table{
+		ID:    "design-choices",
+		Title: "§III design-choice ablation (PageRank/urand)",
+		Header: []string{"variant", "speedup", "accuracy", "metadata KB",
+			"storage overhead"},
+	}
+	const w, in = "pagerank", "urand"
+	base := s.Baseline(w, in)
+	row := func(name string, r *sim.Result) {
+		t.AddRow(name,
+			f2(r.ComposedSpeedup(base, s.ComposeIters)),
+			f2(r.Accuracy()),
+			f1(float64(r.RnR.MetadataBytes())/1024),
+			pct(r.StorageOverheadPct()))
+	}
+	row("L2-miss record, L2 dest (paper)", s.Run(w, in, sim.PFRnR, Variant{}))
+	row("record every access", s.Run(w, in, sim.PFRnR, Variant{
+		Tag:    "recordall",
+		Mutate: func(c *sim.Config) { c.RnRRecordAll = true },
+	}))
+	row("prefetch into LLC", s.Run(w, in, sim.PFRnR, Variant{
+		Tag:    "llcdest",
+		Mutate: func(c *sim.Config) { c.RnRPrefetchToLLC = true },
+	}))
+	t.Note("paper §III: recording every access wastes storage and bandwidth " +
+		"(locality-filtered misses suffice); the L2 destination avoids the " +
+		"latency left on the table by an LLC destination")
+	return t
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/graph"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/sim"
+)
+
+// Suite memoises workloads and simulation results so the per-figure
+// runners can share runs (the baseline run, for example, feeds Fig. 6, 7,
+// 8, 9 and 12).
+type Suite struct {
+	Scale  apps.Scale
+	Config sim.Config
+	// ComposeIters is the iteration count speedups are composed to
+	// ("we use 100 iterations for all tested applications", §VII-A.1).
+	ComposeIters int
+
+	mu      sync.Mutex
+	apps    map[string]*apps.App
+	results map[string]*sim.Result
+	scaleG  *graph.Graph // memoised core-scaling input
+
+	// Progress, if set, is called before each fresh simulation run.
+	Progress func(key string)
+}
+
+// NewSuite builds a suite at the given scale on the scaled Table II
+// machine.
+func NewSuite(scale apps.Scale) *Suite {
+	return &Suite{
+		Scale:        scale,
+		Config:       sim.Scaled(),
+		ComposeIters: 100,
+		apps:         make(map[string]*apps.App),
+		results:      make(map[string]*sim.Result),
+	}
+}
+
+// App returns (building once) the workload on the input.
+func (s *Suite) App(workload, input string) *apps.App {
+	key := workload + "/" + input
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.apps[key]; ok {
+		return a
+	}
+	a, err := apps.Build(workload, input, s.Scale)
+	if err != nil {
+		panic(err) // experiment-definition bug, not a runtime condition
+	}
+	s.apps[key] = a
+	return a
+}
+
+// Variant customises a run beyond the prefetcher kind.
+type Variant struct {
+	Tag    string // distinguishes cached results; "" for plain runs
+	Mutate func(*sim.Config)
+}
+
+// Run simulates (memoised) the workload/input under the prefetcher.
+func (s *Suite) Run(workload, input string, pf sim.PrefetcherKind, v Variant) *sim.Result {
+	key := fmt.Sprintf("%s/%s/%s/%s", workload, input, pf, v.Tag)
+	s.mu.Lock()
+	if r, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	app := s.App(workload, input)
+	cfg := s.Config
+	cfg.Prefetcher = pf
+	cfg.Name = key
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	if s.Progress != nil {
+		s.Progress(key)
+	}
+	r, err := sim.Run(cfg, app)
+	if err != nil {
+		panic(err)
+	}
+	s.mu.Lock()
+	s.results[key] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Baseline returns the no-prefetcher run.
+func (s *Suite) Baseline(workload, input string) *sim.Result {
+	return s.Run(workload, input, sim.PFNone, Variant{})
+}
+
+// Ideal returns the infinite-LLC run.
+func (s *Suite) Ideal(workload, input string) *sim.Result {
+	return s.Run(workload, input, sim.PFNone, Variant{
+		Tag:    "ideal",
+		Mutate: func(c *sim.Config) { c.IdealLLC = true },
+	})
+}
+
+// RnRWithControl returns an RnR run under the given timing control.
+func (s *Suite) RnRWithControl(workload, input string, ctl rnr.TimingControl) *sim.Result {
+	return s.Run(workload, input, sim.PFRnR, Variant{
+		Tag:    "ctl-" + ctl.String(),
+		Mutate: func(c *sim.Config) { c.RnRControl = ctl },
+	})
+}
+
+// comparisonSet is the Fig. 6-9 prefetcher line-up. DROPLET is skipped for
+// spCG ("the evaluation results do not include DROPLET when running
+// spCG", §VII).
+func comparisonSet(workload string) []sim.PrefetcherKind {
+	set := []sim.PrefetcherKind{
+		sim.PFNextLine, sim.PFBingo, sim.PFSteMS, sim.PFMISB,
+	}
+	if workload != "spcg" {
+		set = append(set, sim.PFDroplet)
+	}
+	return append(set, sim.PFRnR, sim.PFRnRCombined)
+}

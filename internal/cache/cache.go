@@ -1,0 +1,604 @@
+// Package cache implements the set-associative, write-back, write-allocate
+// caches of the simulated memory hierarchy (Table II of the paper): private
+// L1s and L2s per core and a shared LLC. Caches are ticked once per CPU
+// cycle, accept demand, prefetch and writeback traffic through bounded FIFO
+// queues (demand has priority over prefetch, as in ChampSim), track misses
+// in MSHRs that merge same-line requests, and fill by installing lines and
+// cascading completions upward through request callbacks.
+package cache
+
+import (
+	"fmt"
+
+	"rnrsim/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes uint64 // total data capacity
+	Ways      int    // associativity
+	Latency   uint64 // tag+data access latency in cycles
+	MSHRs     int    // outstanding misses
+	ReadQ     int    // demand input queue capacity
+	PrefQ     int    // prefetch input queue capacity
+	WriteQ    int    // writeback input queue capacity
+	Bandwidth int    // demand lookups per cycle
+	// PrefBandwidth is the prefetch-queue port width (lookups per cycle);
+	// 0 defaults to Bandwidth. The queues have separate ports, as in
+	// ChampSim, so demand traffic shapes prefetch latency, not liveness.
+	PrefBandwidth int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	s := int(c.SizeBytes / mem.LineSize / uint64(c.Ways))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (c Config) validate() error {
+	if c.Ways < 1 || c.SizeBytes < mem.LineSize || c.Latency == 0 ||
+		c.MSHRs < 1 || c.ReadQ < 1 || c.WriteQ < 1 || c.Bandwidth < 1 {
+		return fmt.Errorf("cache %q: invalid config %+v", c.Name, c)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// AccessInfo is delivered to the OnAccess hook for every lookup the cache
+// performs. Prefetchers train on these events; the RnR record engine uses
+// Hit/Merged/StructFlag to capture the L2 miss sequence.
+type AccessInfo struct {
+	Cycle      uint64
+	Line       mem.Addr
+	PC         uint64
+	Core       int
+	Type       mem.ReqType
+	Hit        bool
+	Merged     bool // missed, but merged into an in-flight MSHR
+	PrefHit    bool // hit on a still-unused prefetched line
+	RegionID   int
+	StructFlag bool
+}
+
+// Stats aggregates the per-level counters the evaluation needs.
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64 // true misses (excludes MSHR merges)
+	DemandMerges   uint64
+
+	PrefetchIssued    uint64 // prefetch requests accepted into the cache
+	PrefetchDropped   uint64 // dropped: queue full / duplicate in flight
+	PrefetchFills     uint64 // lines installed by prefetch, unused at fill
+	PrefetchFillsDone uint64 // all fills fetched by a prefetch MSHR (incl. demanded late)
+	PrefetchUseful    uint64 // prefetched lines referenced by demand before evict
+	PrefetchLate      uint64 // demand merged into an in-flight prefetch MSHR
+	PrefetchEvicted   uint64 // prefetched lines evicted unreferenced
+
+	Writebacks uint64
+	Evictions  uint64
+
+	// MissServiceSum/Cnt measure MSHR allocation-to-fill latency.
+	MissServiceSum uint64
+	MissServiceCnt uint64
+}
+
+// AvgMissService returns the mean MSHR residency in cycles.
+func (s Stats) AvgMissService() float64 {
+	if s.MissServiceCnt == 0 {
+		return 0
+	}
+	return float64(s.MissServiceSum) / float64(s.MissServiceCnt)
+}
+
+type line struct {
+	tag        mem.Addr // line-aligned address; valid when != invalidTag
+	dirty      bool
+	prefetched bool // installed by prefetch and not yet demanded
+	lastUse    uint64
+}
+
+const invalidTag = ^mem.Addr(0)
+
+type mshr struct {
+	allocAt  uint64
+	line     mem.Addr
+	waiters  []*mem.Request
+	prefetch bool // allocated by a prefetch (may be upgraded by a demand)
+	demanded bool
+	sent     bool // child request handed to the lower level
+	child    *mem.Request
+}
+
+type queued struct {
+	req   *mem.Request
+	ready uint64 // cycle at which the lookup may proceed (enqueue + latency)
+}
+
+// Cache is one level of the hierarchy. Create with New, connect with
+// SetLower, drive with TryEnqueue/TryPrefetch and Tick.
+type Cache struct {
+	cfg      Config
+	sets     []line // len = nsets*ways, set-major
+	nsets    int
+	setMask  mem.Addr
+	lower    mem.Backend
+	clock    uint64
+	readQ    []queued
+	prefQ    []queued
+	writeQ   []queued
+	mshrs    map[mem.Addr]*mshr
+	unsent   []*mshr // MSHRs whose child could not be enqueued below yet
+	Stats    Stats
+	OnAccess func(AccessInfo)
+	OnFill   func(line mem.Addr, prefetch bool, cycle uint64)
+	OnEvict  func(line mem.Addr, wasPrefetchedUnused bool, cycle uint64)
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration, which
+// is a programming error in the experiment setup, not a runtime condition.
+func New(cfg Config) *Cache {
+	if cfg.PrefQ < 1 {
+		cfg.PrefQ = 1
+	}
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]line, n*cfg.Ways),
+		nsets:   n,
+		setMask: mem.Addr(n - 1),
+		mshrs:   make(map[mem.Addr]*mshr, cfg.MSHRs),
+	}
+	for i := range c.sets {
+		c.sets[i].tag = invalidTag
+	}
+	return c
+}
+
+// SetLower connects the next level down (another cache or the DRAM
+// controller).
+func (c *Cache) SetLower(b mem.Backend) { c.lower = b }
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(lineAddr mem.Addr) int {
+	return int((lineAddr >> mem.LineShift) & c.setMask)
+}
+
+func (c *Cache) setSlice(lineAddr mem.Addr) []line {
+	i := c.setIndex(lineAddr) * c.cfg.Ways
+	return c.sets[i : i+c.cfg.Ways]
+}
+
+// Lookup probes the tag array without side effects. Used by tests and by
+// prefetch filters that avoid prefetching resident lines.
+func (c *Cache) Lookup(lineAddr mem.Addr) bool {
+	for i := range c.setSlice(lineAddr) {
+		if c.setSlice(lineAddr)[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight reports whether an MSHR already tracks the line.
+func (c *Cache) InFlight(lineAddr mem.Addr) bool {
+	_, ok := c.mshrs[lineAddr]
+	return ok
+}
+
+// MSHRFree reports whether a new miss could currently allocate an MSHR.
+func (c *Cache) MSHRFree() bool { return len(c.mshrs) < c.cfg.MSHRs }
+
+// TryEnqueue accepts a demand or writeback request into the cache's input
+// queues. It implements mem.Backend so caches stack naturally. Prefetches
+// arriving from above are routed into the prefetch queue.
+func (c *Cache) TryEnqueue(r *mem.Request) bool {
+	switch r.Type {
+	case mem.ReqWriteback:
+		if len(c.writeQ) >= c.cfg.WriteQ {
+			return false
+		}
+		c.writeQ = append(c.writeQ, queued{r, c.clock + c.cfg.Latency})
+	case mem.ReqPrefetch:
+		return c.TryPrefetch(r)
+	default:
+		if len(c.readQ) >= c.cfg.ReadQ {
+			return false
+		}
+		c.readQ = append(c.readQ, queued{r, c.clock + c.cfg.Latency})
+	}
+	return true
+}
+
+// TryPrefetch accepts a prefetch request. Locally-generated prefetches
+// (no completion callback) that target a resident line or an in-flight
+// miss are dropped (filtered). Prefetch *children* arriving from the
+// level above carry a Done callback and must always flow through the
+// lookup path so their originating MSHR gets its fill.
+func (c *Cache) TryPrefetch(r *mem.Request) bool {
+	if r.Done == nil && (c.Lookup(r.Line) || c.InFlight(r.Line)) {
+		c.Stats.PrefetchDropped++
+		return true // filtered, but accepted from the issuer's perspective
+	}
+	if len(c.prefQ) >= c.cfg.PrefQ {
+		c.Stats.PrefetchDropped++
+		return false
+	}
+	c.prefQ = append(c.prefQ, queued{r, c.clock + c.cfg.Latency})
+	c.Stats.PrefetchIssued++
+	return true
+}
+
+// Tick advances the cache by one cycle: it retries blocked miss traffic,
+// performs up to Bandwidth lookups (demand before prefetch) and forwards
+// writebacks.
+func (c *Cache) Tick(now uint64) {
+	c.clock = now
+	c.retryUnsent()
+
+	budget := c.cfg.Bandwidth
+	for budget > 0 && len(c.readQ) > 0 && c.readQ[0].ready <= now {
+		q := c.readQ[0]
+		c.readQ = c.readQ[1:]
+		c.access(q.req, now)
+		budget--
+	}
+	// The prefetch queue has its own port (as in ChampSim, where RQ and
+	// PQ are processed every cycle); otherwise steady demand traffic
+	// starves prefetching forever. Prefetches keep a few MSHRs reserved
+	// for demands.
+	prefBudget := c.cfg.PrefBandwidth
+	if prefBudget == 0 {
+		prefBudget = c.cfg.Bandwidth
+	}
+	for prefBudget > 0 && len(c.prefQ) > 0 && c.prefQ[0].ready <= now {
+		reserved := 4
+		if reserved > c.cfg.MSHRs/2 {
+			reserved = c.cfg.MSHRs / 2
+		}
+		if len(c.mshrs) >= c.cfg.MSHRs-reserved {
+			break
+		}
+		q := c.prefQ[0]
+		c.prefQ = c.prefQ[1:]
+		c.access(q.req, now)
+		prefBudget--
+	}
+	// Writebacks are off the critical path but must keep pace with the
+	// eviction rate or they clog the hierarchy.
+	wbBudget := c.cfg.Bandwidth
+	for wbBudget > 0 && len(c.writeQ) > 0 && c.writeQ[0].ready <= now {
+		if !c.applyWriteback(c.writeQ[0].req, now) {
+			break
+		}
+		c.writeQ = c.writeQ[1:]
+		wbBudget--
+	}
+}
+
+// access performs one tag lookup and either completes a hit or allocates /
+// merges an MSHR for a miss.
+func (c *Cache) access(r *mem.Request, now uint64) {
+	set := c.setSlice(r.Line)
+	demand := r.Type.IsDemand()
+	if demand {
+		c.Stats.DemandAccesses++
+	}
+
+	for i := range set {
+		if set[i].tag == r.Line {
+			prefHit := set[i].prefetched
+			set[i].lastUse = now
+			if demand {
+				c.Stats.DemandHits++
+				if prefHit {
+					c.Stats.PrefetchUseful++
+					set[i].prefetched = false
+				}
+				if r.Type == mem.ReqStore {
+					set[i].dirty = true
+				}
+			} else if r.Type == mem.ReqPrefetch && r.Done == nil {
+				// Residence check raced with install; nothing to do.
+				c.Stats.PrefetchDropped++
+			}
+			c.notifyAccess(r, now, true, false, prefHit)
+			r.Complete(now)
+			return
+		}
+	}
+
+	// Miss. Merge into an existing MSHR when possible.
+	if m, ok := c.mshrs[r.Line]; ok {
+		if demand {
+			c.Stats.DemandMerges++
+			if m.prefetch && !m.demanded {
+				// A demand caught up with an in-flight prefetch: the
+				// prefetch was issued, just late.
+				c.Stats.PrefetchLate++
+			}
+			m.demanded = true
+			m.waiters = append(m.waiters, r)
+		} else if r.Done != nil {
+			// A prefetch child from above: it needs the data, so wait
+			// for the in-flight fill like any other waiter.
+			m.waiters = append(m.waiters, r)
+		} else {
+			// A local prefetch merging into an in-flight miss is a no-op.
+			c.Stats.PrefetchDropped++
+			r.Complete(now)
+		}
+		c.notifyAccess(r, now, false, true, false)
+		return
+	}
+
+	if !c.MSHRFree() {
+		// Structural stall: requeue at the head so ordering is preserved.
+		if demand {
+			c.Stats.DemandAccesses--
+		}
+		c.readdHead(r, now)
+		return
+	}
+
+	if demand {
+		c.Stats.DemandMisses++
+	}
+	c.notifyAccess(r, now, false, false, false)
+
+	m := &mshr{
+		line:     r.Line,
+		prefetch: r.Type == mem.ReqPrefetch,
+		demanded: demand,
+		allocAt:  now,
+	}
+	if r.Done != nil {
+		m.waiters = append(m.waiters, r)
+	} else if r.Type == mem.ReqPrefetch {
+		// keep nothing; fill path uses the MSHR itself
+	}
+	child := &mem.Request{
+		Type:       childType(r.Type),
+		Addr:       r.Line,
+		Line:       r.Line,
+		PC:         r.PC,
+		Core:       r.Core,
+		RegionID:   r.RegionID,
+		StructFlag: r.StructFlag,
+		Issue:      now,
+	}
+	child.Done = func(cycle uint64) { c.fill(m, cycle) }
+	m.child = child
+	c.mshrs[r.Line] = m
+	if c.lower == nil || c.lower.TryEnqueue(child) {
+		m.sent = c.lower != nil
+		if c.lower == nil {
+			// Memoryless bottom (tests only): complete immediately.
+			c.fill(m, now+1)
+		}
+	} else {
+		c.unsent = append(c.unsent, m)
+	}
+}
+
+// childType maps an access type to the request type sent down on a miss.
+// Stores become reads-for-ownership; everything else is preserved.
+func childType(t mem.ReqType) mem.ReqType {
+	if t == mem.ReqStore {
+		return mem.ReqLoad
+	}
+	return t
+}
+
+// readdHead pushes a request back to the front of its queue after a
+// structural stall.
+func (c *Cache) readdHead(r *mem.Request, now uint64) {
+	q := queued{r, now + 1}
+	if r.Type == mem.ReqPrefetch {
+		c.prefQ = append([]queued{q}, c.prefQ...)
+	} else {
+		c.readQ = append([]queued{q}, c.readQ...)
+	}
+}
+
+func (c *Cache) retryUnsent() {
+	if len(c.unsent) == 0 || c.lower == nil {
+		return
+	}
+	kept := c.unsent[:0]
+	for _, m := range c.unsent {
+		if !m.sent && c.lower.TryEnqueue(m.child) {
+			m.sent = true
+			continue
+		}
+		if !m.sent {
+			kept = append(kept, m)
+		}
+	}
+	c.unsent = kept
+}
+
+// fill installs the line delivered by the lower level and wakes waiters.
+func (c *Cache) fill(m *mshr, now uint64) {
+	delete(c.mshrs, m.line)
+	c.Stats.MissServiceSum += now - m.allocAt
+	c.Stats.MissServiceCnt++
+	c.install(m.line, m.prefetch && !m.demanded, now)
+	if m.prefetch {
+		c.Stats.PrefetchFillsDone++
+		if !m.demanded {
+			c.Stats.PrefetchFills++
+		}
+	}
+	if c.OnFill != nil {
+		c.OnFill(m.line, m.prefetch, now)
+	}
+	for _, w := range m.waiters {
+		if w.Type == mem.ReqStore {
+			c.markDirty(m.line)
+		}
+		w.Complete(now)
+	}
+}
+
+// install places lineAddr into its set, evicting the LRU way.
+func (c *Cache) install(lineAddr mem.Addr, prefetched bool, now uint64) {
+	set := c.setSlice(lineAddr)
+	victim := 0
+	for i := range set {
+		if set[i].tag == lineAddr {
+			// Already present (e.g. a racing writeback installed it).
+			set[i].lastUse = now
+			return
+		}
+		if set[i].tag == invalidTag {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.tag != invalidTag {
+		c.evict(v, now)
+	}
+	*v = line{tag: lineAddr, prefetched: prefetched, lastUse: now}
+}
+
+func (c *Cache) evict(v *line, now uint64) {
+	c.Stats.Evictions++
+	unused := v.prefetched
+	if unused {
+		c.Stats.PrefetchEvicted++
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(v.tag, unused, now)
+	}
+	if v.dirty && c.lower != nil {
+		wb := &mem.Request{Type: mem.ReqWriteback, Addr: v.tag, Line: v.tag, Core: -1, Issue: now}
+		if !c.lower.TryEnqueue(wb) {
+			// Model a bounded retry by dropping into our own write queue.
+			c.writeQ = append(c.writeQ, queued{wb, now + 1})
+		}
+		c.Stats.Writebacks++
+	}
+}
+
+// applyWriteback lands a writeback from the level above: update in place if
+// resident, otherwise pass it down (non-inclusive hierarchy). Returns false
+// if it must be retried because the lower level is full.
+func (c *Cache) applyWriteback(r *mem.Request, now uint64) bool {
+	set := c.setSlice(r.Line)
+	for i := range set {
+		if set[i].tag == r.Line {
+			set[i].dirty = true
+			set[i].lastUse = now
+			return true
+		}
+	}
+	if c.lower == nil {
+		return true
+	}
+	return c.lower.TryEnqueue(r)
+}
+
+func (c *Cache) markDirty(lineAddr mem.Addr) {
+	set := c.setSlice(lineAddr)
+	for i := range set {
+		if set[i].tag == lineAddr {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+func (c *Cache) notifyAccess(r *mem.Request, now uint64, hit, merged, prefHit bool) {
+	if c.OnAccess == nil || r.Type == mem.ReqWriteback {
+		return
+	}
+	if r.Type == mem.ReqPrefetch {
+		return // prefetchers do not train on their own traffic
+	}
+	c.OnAccess(AccessInfo{
+		Cycle:      now,
+		Line:       r.Line,
+		PC:         r.PC,
+		Core:       r.Core,
+		Type:       r.Type,
+		Hit:        hit,
+		Merged:     merged,
+		PrefHit:    prefHit,
+		RegionID:   r.RegionID,
+		StructFlag: r.StructFlag,
+	})
+}
+
+// Pending returns the number of requests waiting in the input queues,
+// useful for drain loops in tests and at end of simulation.
+func (c *Cache) Pending() int {
+	return len(c.readQ) + len(c.prefQ) + len(c.writeQ) + len(c.mshrs)
+}
+
+// Add accumulates other into s (used to aggregate private caches).
+func (s *Stats) Add(other Stats) {
+	s.DemandAccesses += other.DemandAccesses
+	s.DemandHits += other.DemandHits
+	s.DemandMisses += other.DemandMisses
+	s.DemandMerges += other.DemandMerges
+	s.PrefetchIssued += other.PrefetchIssued
+	s.PrefetchDropped += other.PrefetchDropped
+	s.PrefetchFills += other.PrefetchFills
+	s.PrefetchFillsDone += other.PrefetchFillsDone
+	s.PrefetchUseful += other.PrefetchUseful
+	s.PrefetchLate += other.PrefetchLate
+	s.PrefetchEvicted += other.PrefetchEvicted
+	s.Writebacks += other.Writebacks
+	s.Evictions += other.Evictions
+	s.MissServiceSum += other.MissServiceSum
+	s.MissServiceCnt += other.MissServiceCnt
+}
+
+// MPKI returns demand misses per thousand of the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses) / float64(instructions) * 1000
+}
+
+// Accuracy returns the fraction of issued prefetch fills that were useful.
+func (s Stats) Accuracy() float64 {
+	total := s.PrefetchUseful + s.PrefetchEvicted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful) / float64(total)
+}
+
+// Occupancy reports queue and MSHR occupancy for diagnostics.
+func (c *Cache) Occupancy() (readQ, prefQ, writeQ, mshrs int) {
+	return len(c.readQ), len(c.prefQ), len(c.writeQ), len(c.mshrs)
+}
+
+// InvalidateAll drops every resident line, modelling the cache pollution
+// of a context switch (another process evicted everything while this one
+// was descheduled). The trace simulator carries no data, so dirty lines
+// are dropped without writeback traffic; the cost modelled is the warm-up
+// misses afterwards, which §IV-C identifies as the dominant penalty.
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = line{tag: invalidTag}
+	}
+}

@@ -1,0 +1,298 @@
+// Package cpu provides the trace-driven out-of-order core model that drives
+// the memory hierarchy. It is deliberately simple — a ROB, an LSQ and
+// fetch/retire widths — but captures the two behaviours the evaluation
+// depends on: memory-level parallelism (many loads outstanding at once, up
+// to the ROB/LSQ limits) and head-of-ROB stalls on long-latency misses,
+// which is where prefetching earns its speedup.
+package cpu
+
+import (
+	"fmt"
+
+	"rnrsim/internal/mem"
+	"rnrsim/internal/trace"
+)
+
+// Config sizes the core. Default matches the paper's Table II.
+type Config struct {
+	ROB         int    // reorder-buffer entries
+	LSQ         int    // load/store-queue entries (outstanding memory ops)
+	FetchWidth  int    // instructions dispatched per cycle
+	RetireWidth int    // instructions retired per cycle
+	ExecLatency uint64 // completion latency of non-memory instructions
+}
+
+// Default returns the 4-wide OoO core of Table II: 256-entry ROB, 64-entry
+// LSQ, 16-entry issue queue folded into the fetch width.
+func Default() Config {
+	return Config{ROB: 256, LSQ: 64, FetchWidth: 4, RetireWidth: 4, ExecLatency: 1}
+}
+
+func (c Config) validate() error {
+	if c.ROB < 1 || c.LSQ < 1 || c.FetchWidth < 1 || c.RetireWidth < 1 {
+		return fmt.Errorf("cpu: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Stats counts core activity.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Markers      uint64
+	FetchStalls  uint64 // cycles fetch was blocked (ROB/LSQ/L1 full)
+	ROBStallCyc  uint64 // cycles retire made no progress with a full ROB
+
+	// LoadLatencySum accumulates per-load completion latency (dispatch to
+	// data), for average-latency diagnostics.
+	LoadLatencySum uint64
+}
+
+// AvgLoadLatency returns the mean load-to-use latency in cycles.
+func (s Stats) AvgLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadLatencySum) / float64(s.Loads)
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	mem     bool
+	done    bool
+	doneAt  uint64
+	usesLSQ bool
+	marker  bool
+}
+
+// Core executes one hardware thread's trace against an L1 data cache.
+type Core struct {
+	ID  int
+	cfg Config
+
+	l1  mem.Backend
+	src trace.Source
+
+	rob   []robEntry // ring buffer
+	head  int
+	tail  int
+	count int
+
+	lsqUsed int
+
+	pendingExec  uint64 // instructions left in the current Exec bundle
+	pendingRec   trace.Record
+	pendingValid bool
+	pendingReq   *mem.Request // built (and PreAccess-ed) but not yet accepted by the L1
+	drained      bool
+
+	Stats Stats
+
+	// OnMarker is invoked at dispatch of each marker record (the paper's
+	// software-interface register writes). The RnR engine hooks it.
+	OnMarker func(rec trace.Record, cycle uint64)
+
+	// PreAccess, if set, is invoked for every demand request before it is
+	// sent to the L1. The RnR engine uses it to perform the boundary-table
+	// check, set the request's StructFlag and advance Cur Struct Read.
+	PreAccess func(r *mem.Request)
+
+	// Gate, if set, pauses instruction fetch while it returns false.
+	// The simulator uses it to implement the SPMD iteration barrier
+	// (workers wait for the master at iteration ends, §VI). Retirement
+	// continues so in-flight work drains while gated.
+	Gate func() bool
+}
+
+// New builds a core over the given trace and L1 backend.
+func New(id int, cfg Config, src trace.Source, l1 mem.Backend) *Core {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Core{ID: id, cfg: cfg, l1: l1, src: src, rob: make([]robEntry, cfg.ROB)}
+}
+
+// Done reports whether the core has drained its trace and retired
+// everything.
+func (c *Core) Done() bool {
+	return c.drained && c.count == 0 && c.pendingExec == 0 && !c.pendingValid
+}
+
+// Tick advances the core one cycle: retire, then fetch/dispatch.
+func (c *Core) Tick(now uint64) {
+	if c.Done() {
+		return
+	}
+	c.Stats.Cycles++
+	c.retire(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now uint64) {
+	retired := 0
+	for retired < c.cfg.RetireWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if !e.done || e.doneAt > now {
+			break
+		}
+		c.head = (c.head + 1) % c.cfg.ROB
+		c.count--
+		c.Stats.Instructions++
+		retired++
+	}
+	if retired == 0 && c.count == c.cfg.ROB {
+		c.Stats.ROBStallCyc++
+	}
+}
+
+func (c *Core) fetch(now uint64) {
+	if c.Gate != nil && !c.Gate() {
+		return
+	}
+	fetched := 0
+	for fetched < c.cfg.FetchWidth {
+		if c.count == c.cfg.ROB {
+			c.Stats.FetchStalls++
+			return
+		}
+		// Drain a pending exec bundle first.
+		if c.pendingExec > 0 {
+			c.pushExec(now)
+			c.pendingExec--
+			fetched++
+			continue
+		}
+		rec := c.nextRecord()
+		if rec == nil {
+			return
+		}
+		switch rec.Kind {
+		case trace.KindExec:
+			c.pendingExec = rec.Count
+			c.pendingValid = false
+			continue // loop re-enters the bundle branch
+		case trace.KindLoad, trace.KindStore:
+			if !c.dispatchMem(rec, now) {
+				c.Stats.FetchStalls++
+				return // keep rec pending, retry next cycle
+			}
+			c.pendingValid = false
+			fetched++
+		case trace.KindMarker:
+			c.dispatchMarker(rec, now)
+			c.pendingValid = false
+			fetched++
+		default:
+			// Unknown record kinds are skipped defensively.
+			c.pendingValid = false
+		}
+	}
+}
+
+// nextRecord returns the record being dispatched, fetching from the source
+// when nothing is pending. A non-nil result stays pending until the caller
+// clears it, so structural stalls never lose records.
+func (c *Core) nextRecord() *trace.Record {
+	if c.pendingValid {
+		return &c.pendingRec
+	}
+	rec, ok := c.src.Next()
+	if !ok {
+		c.drained = true
+		return nil
+	}
+	c.pendingRec = rec
+	c.pendingValid = true
+	return &c.pendingRec
+}
+
+func (c *Core) pushExec(now uint64) {
+	c.rob[c.tail] = robEntry{done: true, doneAt: now + c.cfg.ExecLatency}
+	c.tail = (c.tail + 1) % c.cfg.ROB
+	c.count++
+}
+
+func (c *Core) dispatchMem(rec *trace.Record, now uint64) bool {
+	if c.lsqUsed >= c.cfg.LSQ {
+		return false
+	}
+	isLoad := rec.Kind == trace.KindLoad
+	// Build the request (and run the side-effecting PreAccess boundary
+	// check) exactly once per instruction; a dispatch retry after L1
+	// backpressure reuses the pending request.
+	req := c.pendingReq
+	if req == nil {
+		t := mem.ReqStore
+		if isLoad {
+			t = mem.ReqLoad
+		}
+		req = mem.NewRequest(t, rec.Addr, rec.PC, c.ID, now)
+		req.RegionID = int(rec.Aux)
+		if c.PreAccess != nil {
+			c.PreAccess(req)
+		}
+		c.pendingReq = req
+	}
+
+	slot := c.tail
+	entry := robEntry{mem: true, usesLSQ: true}
+	if !isLoad {
+		// Stores retire through the write buffer without waiting for the
+		// fill; the LSQ slot stays busy until the store completes.
+		entry.done = true
+		entry.doneAt = now + c.cfg.ExecLatency
+	}
+	// The LSQ release flag lives in the closure, not the ROB entry: a
+	// store may retire (and its ROB slot be reused) before its fill
+	// returns, so the entry cannot be trusted at completion time. A load's
+	// slot is safe — loads cannot retire before their own completion.
+	freed := false
+	issueAt := now
+	req.Done = func(cycle uint64) {
+		if isLoad {
+			c.rob[slot].done = true
+			c.rob[slot].doneAt = cycle
+			c.Stats.LoadLatencySum += cycle - issueAt
+		}
+		if !freed {
+			freed = true
+			c.lsqUsed--
+		}
+	}
+	c.rob[slot] = entry
+	if !c.l1.TryEnqueue(req) {
+		return false
+	}
+	c.pendingReq = nil
+	c.tail = (c.tail + 1) % c.cfg.ROB
+	c.count++
+	c.lsqUsed++
+	if isLoad {
+		c.Stats.Loads++
+	} else {
+		c.Stats.Stores++
+	}
+	return true
+}
+
+func (c *Core) dispatchMarker(rec *trace.Record, now uint64) {
+	c.rob[c.tail] = robEntry{marker: true, done: true, doneAt: now + c.cfg.ExecLatency}
+	c.tail = (c.tail + 1) % c.cfg.ROB
+	c.count++
+	c.Stats.Markers++
+	if c.OnMarker != nil {
+		c.OnMarker(*rec, now)
+	}
+}
+
+// Occupancy reports ROB and LSQ occupancy for diagnostics.
+func (c *Core) Occupancy() (rob, lsq int) { return c.count, c.lsqUsed }

@@ -1,0 +1,379 @@
+// Package dram models the main memory of the simulated machine: a single
+// DDR4-2400 channel with 16 banks behind an FCFS memory controller with a
+// 64-entry read queue and a 32-entry write queue drained by high/low
+// watermarks (75%/25%), per Table II of the paper. The model captures the
+// three effects the evaluation depends on: bank contention, data-bus
+// contention (including read/write turnaround), and row-buffer locality
+// (RnR metadata streams are sequential and therefore row-hit heavy).
+package dram
+
+import (
+	"fmt"
+
+	"rnrsim/internal/mem"
+)
+
+// Config describes the memory system. All timing is expressed in CPU
+// cycles; Default converts the paper's DDR4-2400 CL17 figures to a 4 GHz
+// core clock.
+type Config struct {
+	Name        string
+	Banks       int
+	RowBytes    uint64 // row-buffer size per bank
+	ReadQ       int
+	WriteQ      int
+	DrainHigh   float64 // write-drain start threshold (fraction of WriteQ)
+	DrainLow    float64 // write-drain stop threshold
+	TCAS        uint64  // column access (row hit) latency, CPU cycles
+	TRCD        uint64  // activate latency
+	TRP         uint64  // precharge latency
+	BurstCycles uint64  // data-bus occupancy of one 64 B line
+	Turnaround  uint64  // bus turnaround penalty on read<->write switch
+	MaxInFlight int     // controller-side concurrency (scheduling slots per cycle)
+	Channels    int     // independent channels (data buses); banks are per channel
+}
+
+// Default returns the paper's main-memory configuration scaled to a 4 GHz
+// CPU clock: DDR4-2400 (1200 MHz bus), tCL = tRCD = tRP = 17 memory cycles
+// ~= 57 CPU cycles, BL8 burst = 4 bus cycles ~= 13 CPU cycles.
+func Default() Config {
+	return Config{
+		Name:        "DDR4-2400",
+		Banks:       16,
+		RowBytes:    8 * 1024,
+		ReadQ:       64,
+		WriteQ:      32,
+		DrainHigh:   0.75,
+		DrainLow:    0.25,
+		TCAS:        57,
+		TRCD:        57,
+		TRP:         57,
+		BurstCycles: 13,
+		Turnaround:  15,
+		MaxInFlight: 8,
+		Channels:    1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Banks < 1 || c.RowBytes < mem.LineSize || c.ReadQ < 1 || c.WriteQ < 1 ||
+		c.BurstCycles == 0 || c.MaxInFlight < 1 || c.Channels < 0 {
+		return fmt.Errorf("dram %q: invalid config %+v", c.Name, c)
+	}
+	if c.DrainHigh <= c.DrainLow {
+		return fmt.Errorf("dram %q: drain thresholds %v <= %v", c.Name, c.DrainHigh, c.DrainLow)
+	}
+	return nil
+}
+
+// Stats counts controller activity, split the way Fig. 12 needs it.
+type Stats struct {
+	Reads          uint64 // total read transactions (lines)
+	Writes         uint64 // total write transactions (lines)
+	DemandReads    uint64
+	PrefetchReads  uint64
+	MetaReads      uint64
+	MetaWrites     uint64
+	Writebacks     uint64
+	RowHits        uint64
+	RowMisses      uint64
+	BusBusyCycles  uint64
+	ReadQFullStall uint64 // enqueue rejections
+}
+
+// TotalTraffic returns total off-chip line transfers (reads + writes).
+func (s Stats) TotalTraffic() uint64 { return s.Reads + s.Writes }
+
+type bank struct {
+	openRow   int64 // -1 when precharged
+	readyAt   uint64
+	rowOpened bool
+}
+
+type pending struct {
+	req    *mem.Request
+	finish uint64
+}
+
+// Controller is the memory controller plus DRAM device model. It
+// implements mem.Backend.
+type Controller struct {
+	cfg       Config
+	banks     []bank
+	readQ     []*mem.Request
+	writeQ    []*mem.Request
+	inService []pending
+	clock     uint64
+	busFreeAt []uint64 // per channel
+	lastWrite []bool   // per channel: direction of last transfer, for turnaround
+	draining  bool
+	burstLeft int // writes remaining in the current drain burst
+	Stats     Stats
+}
+
+// New builds a controller. It panics on an invalid configuration.
+func New(cfg Config) *Controller {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	c := &Controller{
+		cfg:       cfg,
+		banks:     make([]bank, cfg.Banks*cfg.Channels),
+		busFreeAt: make([]uint64, cfg.Channels),
+		lastWrite: make([]bool, cfg.Channels),
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// addressing: [row | bank | channel | column]; column covers one row
+// buffer, lines interleave across channels at row granularity.
+func (c *Controller) channelOf(line mem.Addr) int {
+	return int(uint64(line) / c.cfg.RowBytes % uint64(c.cfg.Channels))
+}
+
+func (c *Controller) bankOf(line mem.Addr) int {
+	ch := c.channelOf(line)
+	b := int(uint64(line) / c.cfg.RowBytes / uint64(c.cfg.Channels) % uint64(c.cfg.Banks))
+	return ch*c.cfg.Banks + b
+}
+
+func (c *Controller) rowOf(line mem.Addr) int64 {
+	return int64(uint64(line) / c.cfg.RowBytes / uint64(c.cfg.Channels) / uint64(c.cfg.Banks))
+}
+
+// TryEnqueue accepts a request into the read or write queue. Writebacks and
+// metadata writes are posted (completed immediately from the issuer's view)
+// but still consume write bandwidth later.
+func (c *Controller) TryEnqueue(r *mem.Request) bool {
+	switch r.Type {
+	case mem.ReqWriteback, mem.ReqMetaWrite:
+		if len(c.writeQ) >= c.cfg.WriteQ {
+			return false
+		}
+		c.writeQ = append(c.writeQ, r)
+		r.Complete(c.clock) // posted write
+		return true
+	default:
+		if len(c.readQ) >= c.cfg.ReadQ {
+			c.Stats.ReadQFullStall++
+			return false
+		}
+		c.readQ = append(c.readQ, r)
+		return true
+	}
+}
+
+// ReadQLen and WriteQLen expose occupancy for tests and adaptive clients.
+func (c *Controller) ReadQLen() int { return len(c.readQ) }
+
+// WriteQLen returns the current write-queue occupancy.
+func (c *Controller) WriteQLen() int { return len(c.writeQ) }
+
+// Pending returns outstanding work (queued plus in service).
+func (c *Controller) Pending() int {
+	return len(c.readQ) + len(c.writeQ) + len(c.inService)
+}
+
+// Tick advances the controller one CPU cycle: completes finished transfers
+// and schedules new ones subject to bank and bus availability.
+func (c *Controller) Tick(now uint64) {
+	c.clock = now
+	c.complete(now)
+	c.updateDrainState()
+
+	for slot := 0; slot < c.cfg.MaxInFlight; slot++ {
+		if !c.scheduleOne(now) {
+			break
+		}
+	}
+	// Low-priority traffic (prefetch and metadata reads) is guaranteed one
+	// issue opportunity per cycle on otherwise-idle banks, so a steady
+	// demand stream cannot starve it outright — priority shapes latency,
+	// not liveness.
+	if len(c.inService) < c.cfg.MaxInFlight+1 {
+		c.issueRead(now, false)
+	}
+}
+
+func (c *Controller) complete(now uint64) {
+	kept := c.inService[:0]
+	for _, p := range c.inService {
+		if p.finish <= now {
+			p.req.Complete(now)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.inService = kept
+}
+
+func (c *Controller) updateDrainState() {
+	high := int(float64(c.cfg.WriteQ) * c.cfg.DrainHigh)
+	low := int(float64(c.cfg.WriteQ) * c.cfg.DrainLow)
+	if len(c.writeQ) >= high {
+		c.draining = true
+	} else if len(c.writeQ) <= low {
+		c.draining = false
+	}
+	if len(c.writeQ) >= c.cfg.WriteQ && c.burstLeft == 0 {
+		c.burstLeft = writeBurstMin // full queue: force a burst now
+	}
+}
+
+// scheduleOne issues at most one transaction and reports whether it did.
+// Priority: demand reads always go first (§VII-A.6: "a write queue
+// draining policy, which prioritizes a demand read over the write");
+// above the high watermark writes drain ahead of prefetch/metadata reads;
+// otherwise writes only use idle slots.
+func (c *Controller) scheduleOne(now uint64) bool {
+	if len(c.inService) >= c.cfg.MaxInFlight {
+		return false
+	}
+	// A started write burst runs to completion so the bus pays one
+	// turnaround per burst, not one per write. A full write queue forces
+	// a burst (liveness); otherwise bursts start only when no demand read
+	// is waiting.
+	if c.burstLeft > 0 {
+		if len(c.writeQ) == 0 {
+			c.burstLeft = 0
+		} else if c.issueWrite(now) {
+			c.burstLeft--
+			return true
+		}
+	}
+	if c.issueRead(now, true) {
+		return true
+	}
+	if c.draining && c.burstLeft == 0 {
+		c.burstLeft = writeBurstMin
+		if c.issueWrite(now) {
+			c.burstLeft--
+			return true
+		}
+	}
+	if c.issueRead(now, false) {
+		return true
+	}
+	// Writes below the watermark only drain in bursts: singly interleaved
+	// writes would pay two bus turnarounds each. A mini-burst starts when
+	// the read queue is idle with enough writes banked, or when the
+	// controller is otherwise fully idle (end-of-phase flush).
+	if len(c.readQ) == 0 && (len(c.writeQ) >= writeBurstMin || len(c.inService) == 0) {
+		return c.issueWrite(now)
+	}
+	return false
+}
+
+// writeBurstMin is the smallest opportunistic write burst worth a bus
+// turnaround.
+const writeBurstMin = 8
+
+func (c *Controller) issueRead(now uint64, demandOnly bool) bool {
+	for i, r := range c.readQ {
+		if demandOnly != r.Type.IsDemand() {
+			continue
+		}
+		b := &c.banks[c.bankOf(r.Line)]
+		if b.readyAt > now {
+			if demandOnly {
+				// FCFS: an older blocked demand read blocks younger ones
+				// to the same bank but not other banks; to keep the model
+				// simple (and pessimistic only for pathological traces) we
+				// skip just this request.
+				continue
+			}
+			continue
+		}
+		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+		finish := c.serve(r.Line, now, false)
+		c.account(r)
+		c.inService = append(c.inService, pending{r, finish})
+		return true
+	}
+	return false
+}
+
+func (c *Controller) issueWrite(now uint64) bool {
+	for i, r := range c.writeQ {
+		b := &c.banks[c.bankOf(r.Line)]
+		if b.readyAt > now {
+			continue
+		}
+		c.writeQ = append(c.writeQ[:i], c.writeQ[i+1:]...)
+		c.serve(r.Line, now, true)
+		c.account(r)
+		return true
+	}
+	return false
+}
+
+// serve runs the bank/bus timing state machine for one line transfer and
+// returns the cycle at which the data is fully transferred.
+func (c *Controller) serve(line mem.Addr, now uint64, write bool) uint64 {
+	b := &c.banks[c.bankOf(line)]
+	row := c.rowOf(line)
+
+	var access, bankBusy uint64
+	switch {
+	case b.rowOpened && b.openRow == row:
+		// Column accesses to an open row pipeline at tCCD, which equals
+		// the burst length; only the first access pays the full CAS.
+		access = c.cfg.TCAS
+		bankBusy = c.cfg.BurstCycles
+		c.Stats.RowHits++
+	case b.rowOpened:
+		access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		bankBusy = access
+		c.Stats.RowMisses++
+	default:
+		access = c.cfg.TRCD + c.cfg.TCAS
+		bankBusy = access
+		c.Stats.RowMisses++
+	}
+	b.openRow = row
+	b.rowOpened = true
+
+	ch := c.channelOf(line)
+	dataStart := now + access
+	if c.busFreeAt[ch] > dataStart {
+		dataStart = c.busFreeAt[ch]
+	}
+	if c.lastWrite[ch] != write {
+		dataStart += c.cfg.Turnaround
+	}
+	finish := dataStart + c.cfg.BurstCycles
+	c.busFreeAt[ch] = finish
+	c.lastWrite[ch] = write
+	b.readyAt = now + bankBusy
+	c.Stats.BusBusyCycles += c.cfg.BurstCycles
+	return finish
+}
+
+func (c *Controller) account(r *mem.Request) {
+	switch r.Type {
+	case mem.ReqLoad, mem.ReqStore:
+		c.Stats.Reads++
+		c.Stats.DemandReads++
+	case mem.ReqPrefetch:
+		c.Stats.Reads++
+		c.Stats.PrefetchReads++
+	case mem.ReqMetaRead:
+		c.Stats.Reads++
+		c.Stats.MetaReads++
+	case mem.ReqMetaWrite:
+		c.Stats.Writes++
+		c.Stats.MetaWrites++
+	case mem.ReqWriteback:
+		c.Stats.Writes++
+		c.Stats.Writebacks++
+	}
+}

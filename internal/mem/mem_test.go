@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMath(t *testing.T) {
+	cases := []struct {
+		addr       Addr
+		line       Addr
+		idx        Addr
+		off        uint64
+		page, huge Addr
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{1, 0, 0, 1, 0, 0},
+		{63, 0, 0, 63, 0, 0},
+		{64, 64, 1, 0, 0, 0},
+		{4095, 4032, 63, 63, 0, 0},
+		{4096, 4096, 64, 0, 4096, 0},
+		{0x400000, 0x400000, 0x10000, 0, 0x400000, 0x400000},
+		{0x400001, 0x400000, 0x10000, 1, 0x400000, 0x400000},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.addr); got != c.line {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", c.addr, got, c.line)
+		}
+		if got := LineIndex(c.addr); got != c.idx {
+			t.Errorf("LineIndex(%#x) = %#x, want %#x", c.addr, got, c.idx)
+		}
+		if got := LineOffset(c.addr); got != c.off {
+			t.Errorf("LineOffset(%#x) = %#x, want %#x", c.addr, got, c.off)
+		}
+		if got := PageAddr(c.addr); got != c.page {
+			t.Errorf("PageAddr(%#x) = %#x, want %#x", c.addr, got, c.page)
+		}
+		if got := HugeAddr(c.addr); got != c.huge {
+			t.Errorf("HugeAddr(%#x) = %#x, want %#x", c.addr, got, c.huge)
+		}
+	}
+}
+
+func TestLinesIn(t *testing.T) {
+	cases := []struct {
+		base Addr
+		size uint64
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},   // straddles a line boundary
+		{64, 64, 1},  // exactly one aligned line
+		{10, 128, 3}, // unaligned two-and-a-bit lines
+	}
+	for _, c := range cases {
+		if got := LinesIn(c.base, c.size); got != c.want {
+			t.Errorf("LinesIn(%#x, %d) = %d, want %d", c.base, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLineMathProperties(t *testing.T) {
+	// LineAddr is idempotent, aligned, and never past the input.
+	prop := func(a uint64) bool {
+		la := LineAddr(Addr(a))
+		return la <= Addr(a) &&
+			uint64(la)%LineSize == 0 &&
+			LineAddr(la) == la &&
+			uint64(Addr(a)-la) == LineOffset(Addr(a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if got := AlignUp(0, 64); got != 0 {
+		t.Errorf("AlignUp(0,64) = %d", got)
+	}
+	if got := AlignUp(1, 64); got != 64 {
+		t.Errorf("AlignUp(1,64) = %d", got)
+	}
+	if got := AlignUp(64, 64); got != 64 {
+		t.Errorf("AlignUp(64,64) = %d", got)
+	}
+	prop := func(a uint32) bool {
+		up := AlignUp(Addr(a), PageSize)
+		return up >= Addr(a) && uint64(up)%PageSize == 0 && up-Addr(a) < PageSize
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorLayout(t *testing.T) {
+	al := NewAllocator(0x1000)
+	a := al.AllocPage("a", 100)
+	b := al.AllocPage("b", 4096)
+	c := al.Alloc("c", 10, 64)
+
+	if a.Base != 0x1000 {
+		t.Errorf("first region base = %#x, want 0x1000", uint64(a.Base))
+	}
+	if uint64(b.Base)%PageSize != 0 {
+		t.Errorf("page alloc not page aligned: %#x", uint64(b.Base))
+	}
+	if b.Base < a.End() {
+		t.Errorf("regions overlap: %v then %v", a, b)
+	}
+	if c.Base < b.End() || uint64(c.Base)%64 != 0 {
+		t.Errorf("third region misplaced: %v after %v", c, b)
+	}
+	if got := len(al.Regions()); got != 3 {
+		t.Fatalf("Regions() returned %d entries, want 3", got)
+	}
+	for i, r := range al.Regions() {
+		if r.ID != i {
+			t.Errorf("region %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestAllocatorNoOverlap(t *testing.T) {
+	al := NewAllocator(0)
+	sizes := []uint64{1, 63, 64, 65, 4095, 4096, 4097, 1 << 20}
+	for i, sz := range sizes {
+		al.Alloc("r", sz, 64)
+		_ = i
+	}
+	rs := al.Regions()
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Base < rs[i-1].End() {
+			t.Errorf("region %d (%v) overlaps previous (%v)", i, rs[i], rs[i-1])
+		}
+	}
+}
+
+func TestRegionContainsAndFind(t *testing.T) {
+	al := NewAllocator(0x10000)
+	r := al.Alloc("x", 256, 64)
+	if !r.Contains(r.Base) || !r.Contains(r.End()-1) {
+		t.Error("region does not contain its own bounds")
+	}
+	if r.Contains(r.End()) || r.Contains(r.Base-1) {
+		t.Error("region contains addresses outside itself")
+	}
+	if got, ok := al.FindRegion(r.Base + 5); !ok || got.ID != r.ID {
+		t.Errorf("FindRegion inside = %v,%v", got, ok)
+	}
+	if _, ok := al.FindRegion(0); ok {
+		t.Error("FindRegion found a region at unallocated address 0")
+	}
+	if r.Lines() != 4 {
+		t.Errorf("Lines() = %d, want 4", r.Lines())
+	}
+}
+
+func TestRequestCompleteOnce(t *testing.T) {
+	n := 0
+	r := NewRequest(ReqLoad, 0x1234, 7, 0, 100)
+	r.Done = func(cycle uint64) {
+		n++
+		if cycle != 150 {
+			t.Errorf("completion cycle = %d, want 150", cycle)
+		}
+	}
+	if r.Line != 0x1200 {
+		t.Errorf("derived line = %#x, want 0x1200", uint64(r.Line))
+	}
+	r.Complete(150)
+	r.Complete(160) // must be a no-op
+	if n != 1 {
+		t.Errorf("Done ran %d times, want 1", n)
+	}
+}
+
+func TestReqTypeClassifiers(t *testing.T) {
+	if !ReqLoad.IsDemand() || !ReqStore.IsDemand() {
+		t.Error("load/store must be demand")
+	}
+	if ReqPrefetch.IsDemand() || ReqMetaRead.IsDemand() {
+		t.Error("prefetch/meta must not be demand")
+	}
+	if !ReqMetaRead.IsMeta() || !ReqMetaWrite.IsMeta() {
+		t.Error("meta requests misclassified")
+	}
+	if ReqLoad.String() != "load" || ReqWriteback.String() != "writeback" {
+		t.Errorf("String() = %q/%q", ReqLoad, ReqWriteback)
+	}
+}

@@ -1,0 +1,94 @@
+package mem
+
+import "fmt"
+
+// ReqType classifies a memory request for priority and accounting purposes.
+type ReqType uint8
+
+const (
+	// ReqLoad is a demand read issued by a core.
+	ReqLoad ReqType = iota
+	// ReqStore is a demand write issued by a core (write-allocate).
+	ReqStore
+	// ReqPrefetch is a hardware prefetch. Lower priority than demands.
+	ReqPrefetch
+	// ReqWriteback is a dirty-line eviction travelling down the hierarchy.
+	ReqWriteback
+	// ReqMetaRead is an RnR metadata (sequence/division table) streaming
+	// read. It bypasses the caches and goes straight to memory.
+	ReqMetaRead
+	// ReqMetaWrite is an RnR metadata write-back during recording. Like the
+	// paper's non-temporal stores it bypasses the caches.
+	ReqMetaWrite
+)
+
+var reqTypeNames = [...]string{"load", "store", "prefetch", "writeback", "metaread", "metawrite"}
+
+func (t ReqType) String() string {
+	if int(t) < len(reqTypeNames) {
+		return reqTypeNames[t]
+	}
+	return fmt.Sprintf("reqtype(%d)", uint8(t))
+}
+
+// IsDemand reports whether the request is a core demand access.
+func (t ReqType) IsDemand() bool { return t == ReqLoad || t == ReqStore }
+
+// IsMeta reports whether the request is RnR metadata traffic.
+func (t ReqType) IsMeta() bool { return t == ReqMetaRead || t == ReqMetaWrite }
+
+// Request is one in-flight memory transaction. A request is created by a
+// core, a prefetcher or the RnR engine, flows down the cache hierarchy
+// (possibly merging into an existing MSHR) and completes by invoking Done
+// exactly once with the cycle at which its data is available.
+type Request struct {
+	Type ReqType
+	Addr Addr   // full byte address of the access
+	Line Addr   // line-aligned address (cached component key)
+	PC   uint64 // synthetic program counter of the access site
+	Core int    // issuing core, -1 for system-generated traffic
+
+	// RegionID tags the request with the workload region it falls in
+	// (-1 when unknown). StructFlag mirrors the paper's packet flag: set
+	// when the access is a read within an enabled RnR boundary range.
+	RegionID   int
+	StructFlag bool
+
+	// Issue is the cycle the request entered the memory system.
+	Issue uint64
+
+	// Done is invoked exactly once when the request's data is available.
+	// May be nil for fire-and-forget traffic (writebacks, metadata writes).
+	Done func(cycle uint64)
+}
+
+// NewRequest builds a request of type t for byte address a, filling in the
+// derived line address.
+func NewRequest(t ReqType, a Addr, pc uint64, core int, issue uint64) *Request {
+	return &Request{
+		Type:     t,
+		Addr:     a,
+		Line:     LineAddr(a),
+		PC:       pc,
+		Core:     core,
+		RegionID: -1,
+		Issue:    issue,
+	}
+}
+
+// Complete invokes the Done callback, if any, and clears it so accidental
+// double completion panics loudly in tests rather than corrupting stats.
+func (r *Request) Complete(cycle uint64) {
+	if r.Done != nil {
+		d := r.Done
+		r.Done = nil
+		d(cycle)
+	}
+}
+
+// Backend is anything that can accept requests at the bottom of a cache:
+// the next cache level or the DRAM controller. TryEnqueue returns false
+// when the component's input queue is full; the caller must retry later.
+type Backend interface {
+	TryEnqueue(r *Request) bool
+}

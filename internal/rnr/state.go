@@ -1,0 +1,145 @@
+// Package rnr implements the paper's contribution: the software-assisted
+// Record-and-Replay hardware prefetcher.
+//
+// The engine sits next to a private L2 cache. Guided by the software
+// interface of §IV (delivered as in-band trace markers), it records the L2
+// miss sequence of programmer-designated data structures into a sequence
+// table in programmer-allocated memory, records per-window demand-read
+// counts into a division table, and on replay streams the metadata back in
+// and prefetches the recorded lines into the L2, paced to the program's
+// progress (§V-C).
+package rnr
+
+import (
+	"fmt"
+
+	"rnrsim/internal/mem"
+)
+
+// State is the prefetch-state register (Fig. 3).
+type State uint8
+
+const (
+	// StateIdle: RnR is disabled.
+	StateIdle State = iota
+	// StateRecord: recording the miss sequence of the target structures.
+	StateRecord
+	// StateReplay: replaying the recorded sequence as prefetches.
+	StateReplay
+	// StatePausedRecord / StatePausedReplay: paused (context switch or a
+	// program phase without the repeating pattern); resumable.
+	StatePausedRecord
+	StatePausedReplay
+)
+
+var stateNames = [...]string{"idle", "record", "replay", "paused-record", "paused-replay"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// NumBoundarySlots is the number of boundary-checking address register
+// pairs. The paper's footnote 1: "The number of address registers can be
+// variable, two are used in the evaluation."
+const NumBoundarySlots = 2
+
+// Boundary is one boundary-checking register set: a base address, the
+// structure length, and an active bit (§IV-A state (2)).
+type Boundary struct {
+	Base    mem.Addr
+	Size    uint64
+	Enabled bool
+	Valid   bool
+}
+
+// Contains reports whether a falls inside an enabled boundary.
+func (b Boundary) Contains(a mem.Addr) bool {
+	return b.Valid && b.Enabled && a >= b.Base && a < b.Base+mem.Addr(b.Size)
+}
+
+// ArchState is the software-visible architectural state of §IV-A. It is
+// per core and is saved/restored across context switches (§IV-C).
+type ArchState struct {
+	ASID         uint64
+	Bounds       [NumBoundarySlots]Boundary
+	SeqTableBase mem.Addr // base of the sequence table (virtual)
+	SeqTableCap  uint64   // capacity in entries
+	DivTableBase mem.Addr // base of the window division table (virtual)
+	DivTableCap  uint64   // capacity in entries
+	WindowSize   uint64   // recorded misses per window
+	State        State
+}
+
+// SetBoundary programs boundary slot i with base and size (disabled).
+func (a *ArchState) SetBoundary(i int, base mem.Addr, size uint64) error {
+	if i < 0 || i >= NumBoundarySlots {
+		return fmt.Errorf("rnr: boundary slot %d out of range", i)
+	}
+	a.Bounds[i] = Boundary{Base: base, Size: size, Valid: true}
+	return nil
+}
+
+// EnableBoundary / DisableBoundary toggle slot i.
+func (a *ArchState) EnableBoundary(i int) error {
+	if i < 0 || i >= NumBoundarySlots || !a.Bounds[i].Valid {
+		return fmt.Errorf("rnr: enable of invalid boundary slot %d", i)
+	}
+	a.Bounds[i].Enabled = true
+	return nil
+}
+
+// DisableBoundary disables boundary slot i.
+func (a *ArchState) DisableBoundary(i int) error {
+	if i < 0 || i >= NumBoundarySlots || !a.Bounds[i].Valid {
+		return fmt.Errorf("rnr: disable of invalid boundary slot %d", i)
+	}
+	a.Bounds[i].Enabled = false
+	return nil
+}
+
+// Match returns the slot containing a, or -1.
+func (a *ArchState) Match(addr mem.Addr) int {
+	for i := range a.Bounds {
+		if a.Bounds[i].Contains(addr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SeqEntry is one sequence-table record: the boundary slot and the line
+// offset of the miss inside that structure. Offsets rather than absolute
+// addresses let the program swap the base pointer between iterations
+// (p_curr/p_next in Algorithm 1) without invalidating the recording.
+//
+// The hardware encoding is 4 bytes: 4 bits of slot, 28 bits of line
+// offset, supporting structures up to 2^28 lines (16 GB).
+type SeqEntry uint32
+
+// NewSeqEntry packs slot and lineOff. lineOff beyond 28 bits is truncated,
+// which mirrors the hardware field width; callers validate sizes up front.
+func NewSeqEntry(slot int, lineOff uint64) SeqEntry {
+	return SeqEntry(uint32(slot)<<28 | uint32(lineOff&0x0fffffff))
+}
+
+// Slot returns the boundary slot of the entry.
+func (e SeqEntry) Slot() int { return int(e >> 28) }
+
+// LineOff returns the line offset within the structure.
+func (e SeqEntry) LineOff() uint64 { return uint64(e & 0x0fffffff) }
+
+// SeqEntryBytes and DivEntryBytes size the metadata records: 4-byte
+// sequence entries, one 8-byte word per window in the division table.
+const (
+	SeqEntryBytes = 4
+	DivEntryBytes = 8
+	// BufferBytes is the size of each on-chip metadata buffer; the design
+	// uses two 128 B buffers per table for double buffering (§V).
+	BufferBytes = 128
+	// SeqEntriesPerBuffer / DivEntriesPerBuffer derive the buffer depths.
+	SeqEntriesPerBuffer = BufferBytes / SeqEntryBytes
+	DivEntriesPerBuffer = BufferBytes / DivEntryBytes
+)

@@ -1,0 +1,121 @@
+package rnr
+
+import (
+	"testing"
+
+	"rnrsim/internal/mem"
+)
+
+func TestBoundarySlotValidation(t *testing.T) {
+	var a ArchState
+	if err := a.SetBoundary(-1, 0x1000, 64); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if err := a.SetBoundary(NumBoundarySlots, 0x1000, 64); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := a.SetBoundary(0, 0x1000, 64); err != nil {
+		t.Fatalf("valid slot rejected: %v", err)
+	}
+	if err := a.EnableBoundary(1); err == nil {
+		t.Error("enabling an unset slot must fail")
+	}
+	if err := a.DisableBoundary(1); err == nil {
+		t.Error("disabling an unset slot must fail")
+	}
+	if err := a.EnableBoundary(0); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if !a.Bounds[0].Enabled {
+		t.Error("enable did not stick")
+	}
+}
+
+func TestBoundaryContainsSemantics(t *testing.T) {
+	b := Boundary{Base: 0x1000, Size: 0x100, Valid: true, Enabled: true}
+	cases := []struct {
+		addr mem.Addr
+		want bool
+	}{
+		{0x0fff, false}, {0x1000, true}, {0x10ff, true}, {0x1100, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.addr); got != c.want {
+			t.Errorf("Contains(%#x) = %v, want %v", uint64(c.addr), got, c.want)
+		}
+	}
+	// Disabled or invalid boundaries contain nothing.
+	b.Enabled = false
+	if b.Contains(0x1000) {
+		t.Error("disabled boundary contains addresses")
+	}
+	b.Enabled = true
+	b.Valid = false
+	if b.Contains(0x1000) {
+		t.Error("invalid boundary contains addresses")
+	}
+}
+
+func TestArchStateMatchPrecedence(t *testing.T) {
+	var a ArchState
+	_ = a.SetBoundary(0, 0x1000, 0x100)
+	_ = a.SetBoundary(1, 0x2000, 0x100)
+	_ = a.EnableBoundary(0)
+	_ = a.EnableBoundary(1)
+	if got := a.Match(0x1010); got != 0 {
+		t.Errorf("Match in slot 0 = %d", got)
+	}
+	if got := a.Match(0x2010); got != 1 {
+		t.Errorf("Match in slot 1 = %d", got)
+	}
+	if got := a.Match(0x3000); got != -1 {
+		t.Errorf("Match outside = %d", got)
+	}
+	_ = a.DisableBoundary(1)
+	if got := a.Match(0x2010); got != -1 {
+		t.Errorf("Match in disabled slot = %d", got)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	names := map[State]string{
+		StateIdle: "idle", StateRecord: "record", StateReplay: "replay",
+		StatePausedRecord: "paused-record", StatePausedReplay: "paused-replay",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	ctls := map[TimingControl]string{
+		NoControl: "nocontrol", WindowControl: "window", WindowPaceControl: "window+pace",
+	}
+	for c, want := range ctls {
+		if c.String() != want {
+			t.Errorf("control %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestMetadataRecordSizes(t *testing.T) {
+	// The buffer geometry of §V: two 128 B buffers per table, 4 B sequence
+	// entries, 8 B division words.
+	if SeqEntriesPerBuffer != 32 {
+		t.Errorf("SeqEntriesPerBuffer = %d, want 32", SeqEntriesPerBuffer)
+	}
+	if DivEntriesPerBuffer != 16 {
+		t.Errorf("DivEntriesPerBuffer = %d, want 16", DivEntriesPerBuffer)
+	}
+}
+
+func TestSeqEntrySlotBits(t *testing.T) {
+	e := NewSeqEntry(1, 0x0fffffff)
+	if e.Slot() != 1 || e.LineOff() != 0x0fffffff {
+		t.Errorf("max offset entry: slot %d off %#x", e.Slot(), e.LineOff())
+	}
+	// Offsets beyond 28 bits truncate (hardware field width).
+	e = NewSeqEntry(0, 0x1fffffff)
+	if e.LineOff() != 0x0fffffff {
+		t.Errorf("overflow offset = %#x", e.LineOff())
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+func TestRecordAllAblationInflatesMetadata(t *testing.T) {
+	app := testApp(t)
+	missOnly := runOne(t, testConfig().WithPrefetcher(PFRnR), app)
+	cfg := testConfig().WithPrefetcher(PFRnR)
+	cfg.RnRRecordAll = true
+	all := runOne(t, cfg, app)
+
+	// §III: recording every access must record strictly more than
+	// recording misses (locality exists even in sparse structures).
+	if all.RnR.RecordedEntries+all.RnR.SeqOverflows <= missOnly.RnR.RecordedEntries {
+		t.Errorf("record-all %d (+%d overflow) entries <= miss-only %d",
+			all.RnR.RecordedEntries, all.RnR.SeqOverflows, missOnly.RnR.RecordedEntries)
+	}
+	if all.RnR.MetadataBytes() <= missOnly.RnR.MetadataBytes() {
+		t.Errorf("record-all metadata %d <= miss-only %d",
+			all.RnR.MetadataBytes(), missOnly.RnR.MetadataBytes())
+	}
+	// The run must still complete correctly.
+	if all.Instructions != missOnly.Instructions {
+		t.Error("ablation changed retired work")
+	}
+}
+
+func TestLLCDestinationAblationRuns(t *testing.T) {
+	app := testApp(t)
+	cfg := testConfig().WithPrefetcher(PFRnR)
+	cfg.RnRPrefetchToLLC = true
+	res := runOne(t, cfg, app)
+	if res.RnR.Prefetches == 0 {
+		t.Fatal("LLC-destination replay issued nothing")
+	}
+	// Prefetch fills land at the LLC, not the private L2s.
+	if res.LLC.PrefetchFillsDone == 0 {
+		t.Error("no prefetch fills at the LLC destination")
+	}
+	if res.L2.PrefetchFillsDone != 0 {
+		t.Errorf("L2 received %d prefetch fills under the LLC ablation", res.L2.PrefetchFillsDone)
+	}
+	base := runOne(t, testConfig(), app)
+	if res.Instructions != base.Instructions {
+		t.Error("ablation changed retired work")
+	}
+	// The paper's choice: the L2 destination should be at least as fast.
+	l2dest := runOne(t, testConfig().WithPrefetcher(PFRnR), app)
+	if float64(l2dest.Cycles) > float64(res.Cycles)*1.05 {
+		t.Errorf("L2 destination (%d cycles) clearly worse than LLC destination (%d)",
+			l2dest.Cycles, res.Cycles)
+	}
+}
+
+func TestIdealLLCWithRnRDoesNotCrash(t *testing.T) {
+	// Combined corner: infinite LLC plus RnR metadata traffic.
+	app := testApp(t)
+	cfg := testConfig().WithPrefetcher(PFRnR)
+	cfg.IdealLLC = true
+	res := runOne(t, cfg, app)
+	if res.RnR.MetaReadLines == 0 {
+		t.Error("metadata must still stream from memory under an ideal LLC")
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "rnrsim/internal/mem"
+
+// idealLLC is an infinite last-level cache for the "ideal" configuration
+// of Fig. 6: every line misses exactly once (cold) and hits forever after.
+// It is map-backed so capacity costs nothing until touched.
+type idealLLC struct {
+	latency  uint64
+	lower    mem.Backend
+	resident map[mem.Addr]struct{}
+	clock    uint64
+	pending  []pendingHit
+}
+
+type pendingHit struct {
+	req    *mem.Request
+	finish uint64
+}
+
+func newIdealLLC(latency uint64, lower mem.Backend) *idealLLC {
+	return &idealLLC{latency: latency, lower: lower, resident: make(map[mem.Addr]struct{})}
+}
+
+// TryEnqueue implements mem.Backend.
+func (c *idealLLC) TryEnqueue(r *mem.Request) bool {
+	switch r.Type {
+	case mem.ReqWriteback, mem.ReqMetaWrite:
+		// Absorbed: an infinite LLC never writes back data lines; RnR
+		// metadata still goes to memory to keep accounting honest.
+		if r.Type == mem.ReqMetaWrite {
+			return c.lower.TryEnqueue(r)
+		}
+		r.Complete(c.clock)
+		return true
+	case mem.ReqMetaRead:
+		return c.lower.TryEnqueue(r)
+	}
+	if _, ok := c.resident[r.Line]; ok {
+		c.pending = append(c.pending, pendingHit{r, c.clock + c.latency})
+		return true
+	}
+	line := r.Line
+	inner := *r
+	inner.Done = func(cycle uint64) {
+		c.resident[line] = struct{}{}
+		r.Complete(cycle)
+	}
+	return c.lower.TryEnqueue(&inner)
+}
+
+// Tick completes buffered hits.
+func (c *idealLLC) Tick(now uint64) {
+	c.clock = now
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.finish <= now {
+			p.req.Complete(now)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnrsim/internal/cache"
+	"rnrsim/internal/cpu"
+	"rnrsim/internal/dram"
+	"rnrsim/internal/rnr"
+)
+
+// Result is the statistical outcome of one simulation, with the derived
+// metrics the paper's figures report.
+type Result struct {
+	ConfigName string
+	Prefetcher PrefetcherKind
+	App, Input string
+
+	Cycles       uint64
+	Instructions uint64
+	Iterations   int
+	IterEnd      []uint64 // global cycle at which iteration i's barrier opened
+
+	CoreStats []cpu.Stats
+	IterL2    []cache.Stats // cumulative L2 stats at each iteration end
+	L1, L2    cache.Stats
+	LLC       cache.Stats
+	DRAM      dram.Stats
+	RnR       rnr.Stats
+
+	InputBytes uint64
+	Check      float64
+}
+
+// IPC returns aggregate retired instructions per wall cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// L2MPKI returns private-L2 demand misses per thousand instructions
+// (Fig. 7), aggregated over cores.
+func (r *Result) L2MPKI() float64 { return r.L2.MPKI(r.Instructions) }
+
+// UsefulPrefetches counts prefetched lines that served a demand: hits on
+// prefetched lines plus demands that merged into in-flight prefetches
+// (late but still useful), the ChampSim convention.
+func (r *Result) UsefulPrefetches() uint64 {
+	return r.L2.PrefetchUseful + r.L2.PrefetchLate
+}
+
+// TotalPrefetches counts prefetches that fetched data from below.
+func (r *Result) TotalPrefetches() uint64 { return r.L2.PrefetchFillsDone }
+
+// Accuracy is useful / total issued prefetches (§VII-A.3), over the
+// steady-state iterations.
+func (r *Result) Accuracy() float64 {
+	s := r.steadyL2()
+	t := s.PrefetchFillsDone
+	if t == 0 {
+		return 0
+	}
+	acc := float64(s.PrefetchUseful+s.PrefetchLate) / float64(t)
+	if acc > 1 {
+		acc = 1
+	}
+	return acc
+}
+
+// Coverage is useful prefetches over the *baseline's* demand misses
+// (§VII-A.2: Coverage = Useful Prefetches / Total Baseline Misses),
+// measured over the steady-state (replay) iterations so the warm-up and
+// record iterations do not dilute either term.
+func (r *Result) Coverage(baseline *Result) float64 {
+	if baseline == nil {
+		return 0
+	}
+	own := r.steadyL2()
+	base := baseline.steadyL2()
+	if base.DemandMisses == 0 {
+		return 0
+	}
+	cov := float64(own.PrefetchUseful+own.PrefetchLate) / float64(base.DemandMisses)
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
+
+// steadyL2 returns the L2 stats accumulated during the steady-state
+// iterations (2..end), i.e. total minus the first two iterations'
+// cumulative snapshot. Falls back to whole-run stats when iteration
+// snapshots are missing.
+func (r *Result) steadyL2() cache.Stats {
+	if len(r.IterL2) < 2 {
+		return r.L2
+	}
+	warm := r.IterL2[1]
+	s := r.L2
+	s.DemandAccesses -= warm.DemandAccesses
+	s.DemandHits -= warm.DemandHits
+	s.DemandMisses -= warm.DemandMisses
+	s.DemandMerges -= warm.DemandMerges
+	s.PrefetchIssued -= warm.PrefetchIssued
+	s.PrefetchDropped -= warm.PrefetchDropped
+	s.PrefetchFills -= warm.PrefetchFills
+	s.PrefetchFillsDone -= warm.PrefetchFillsDone
+	s.PrefetchUseful -= warm.PrefetchUseful
+	s.PrefetchLate -= warm.PrefetchLate
+	s.PrefetchEvicted -= warm.PrefetchEvicted
+	return s
+}
+
+// Speedup is baseline cycles over this run's cycles for the simulated ROI.
+func (r *Result) Speedup(baseline *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// IterCycles returns the duration of iteration i (barrier to barrier).
+func (r *Result) IterCycles(i int) uint64 {
+	if i < 0 || i >= len(r.IterEnd) || r.IterEnd[i] == 0 {
+		return 0
+	}
+	if i == 0 {
+		return r.IterEnd[0]
+	}
+	if r.IterEnd[i-1] == 0 || r.IterEnd[i] < r.IterEnd[i-1] {
+		return 0
+	}
+	return r.IterEnd[i] - r.IterEnd[i-1]
+}
+
+// SteadyIterCycles averages the steady-state iterations (2..end): for RnR
+// these are replay iterations, for other prefetchers trained iterations.
+func (r *Result) SteadyIterCycles() float64 {
+	var sum, n float64
+	for i := 2; i < len(r.IterEnd); i++ {
+		if c := r.IterCycles(i); c > 0 {
+			sum += float64(c)
+			n++
+		}
+	}
+	if n == 0 {
+		return float64(r.Cycles) / float64(max(1, r.Iterations))
+	}
+	return sum / n
+}
+
+// ComposedCycles extrapolates the runtime of `iters` kernel iterations
+// from the measured per-iteration times: the first target iteration
+// (recording, for RnR) plus iters-1 steady-state iterations. This is how
+// the paper amortises the record iteration over ~100 replays (§VII-A.1).
+func (r *Result) ComposedCycles(iters int) float64 {
+	first := float64(r.IterCycles(1))
+	if first == 0 {
+		first = r.SteadyIterCycles()
+	}
+	return first + float64(iters-1)*r.SteadyIterCycles()
+}
+
+// ComposedSpeedup is the Fig. 6 headline metric: speedup over the
+// baseline for a full iters-iteration run.
+func (r *Result) ComposedSpeedup(baseline *Result, iters int) float64 {
+	own := r.ComposedCycles(iters)
+	if own == 0 {
+		return 0
+	}
+	return baseline.ComposedCycles(iters) / own
+}
+
+// RecordOverheadPct is the §VII-A.6 metric: the IPC loss of the record
+// iteration versus the same iteration in the baseline run, in percent.
+func (r *Result) RecordOverheadPct(baseline *Result) float64 {
+	own := float64(r.IterCycles(1))
+	base := float64(baseline.IterCycles(1))
+	if base == 0 || own == 0 {
+		return 0
+	}
+	return (own - base) / base * 100
+}
+
+// AdditionalTrafficPct is the Fig. 12 metric: extra off-chip traffic
+// (including metadata) over the baseline, in percent.
+func (r *Result) AdditionalTrafficPct(baseline *Result) float64 {
+	base := float64(baseline.DRAM.TotalTraffic())
+	if base == 0 {
+		return 0
+	}
+	return (float64(r.DRAM.TotalTraffic()) - base) / base * 100
+}
+
+// StorageOverheadPct is the Fig. 13 metric: RnR metadata bytes as a
+// percentage of the input size.
+func (r *Result) StorageOverheadPct() float64 {
+	if r.InputBytes == 0 {
+		return 0
+	}
+	return float64(r.RnR.MetadataBytes()) / float64(r.InputBytes) * 100
+}
+
+// Timeliness is the Fig. 11 breakdown. Fractions are of total prefetches.
+type Timeliness struct {
+	OnTime, Early, Late, OutOfWindow float64
+}
+
+// TimelinessBreakdown classifies this run's prefetches: on-time (demand
+// hit on a prefetched line), late (demand merged with the in-flight
+// prefetch), early (evicted before use, demanded later) and out-of-window
+// (never demanded in its iteration).
+func (r *Result) TimelinessBreakdown() Timeliness {
+	total := float64(r.TotalPrefetches())
+	if total == 0 {
+		return Timeliness{}
+	}
+	t := Timeliness{
+		OnTime: float64(r.L2.PrefetchUseful) / total,
+		Late:   float64(r.L2.PrefetchLate) / total,
+	}
+	if r.RnR.Prefetches > 0 {
+		t.Early = float64(r.RnR.EarlyPrefetches) / total
+		t.OutOfWindow = float64(r.RnR.OutOfWindow) / total
+	} else {
+		// For conventional prefetchers everything evicted-unused is
+		// "early or useless"; report it in the early bucket.
+		t.Early = float64(r.L2.PrefetchEvicted) / total
+	}
+	// Clamp tiny accounting drift.
+	for _, p := range []*float64{&t.OnTime, &t.Early, &t.Late, &t.OutOfWindow} {
+		if *p > 1 {
+			*p = 1
+		}
+	}
+	return t
+}
+
+// String summarises the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s/%s: %d cycles, IPC %.3f, L2 MPKI %.1f, acc %.2f",
+		r.Prefetcher, r.App, r.Input, r.Cycles, r.IPC(), r.L2MPKI(), r.Accuracy())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/cache"
+	"rnrsim/internal/cpu"
+	"rnrsim/internal/dram"
+	"rnrsim/internal/mem"
+	"rnrsim/internal/prefetch"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/trace"
+)
+
+// System is one assembled machine bound to one workload. Build it with
+// New, run it with Run (or step it with Tick for tests).
+type System struct {
+	cfg Config
+	app *apps.App
+
+	cores    []*cpu.Core
+	l1s      []*cache.Cache
+	l2s      []*cache.Cache
+	llc      *cache.Cache
+	ideal    *idealLLC
+	mc       *dram.Controller
+	engines  []*rnr.Engine
+	prefs    []prefetch.Prefetcher
+	droplets []*prefetch.Droplet // for resolver rebinding on base swaps
+
+	issueFns []prefetch.IssueFunc // one per core, built once
+
+	ctx *ctxSwitch
+
+	cycle     uint64
+	barrier   *barrier
+	iterEnd   []uint64
+	iterSnaps []cache.Stats // cumulative L2 stats at each iteration end
+}
+
+// barrier implements the SPMD iteration barrier of §VI: workers wait at
+// iteration ends until every core (or a drained core) arrives.
+type barrier struct {
+	waiting []bool
+	done    func(core int) bool
+	onOpen  func(iter int32)
+	iter    []int32
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{waiting: make([]bool, n), iter: make([]int32, n)}
+}
+
+func (b *barrier) arrive(core int, iter int32) {
+	b.waiting[core] = true
+	b.iter[core] = iter
+	b.maybeOpen()
+}
+
+func (b *barrier) maybeOpen() {
+	for c := range b.waiting {
+		if !b.waiting[c] && !b.done(c) {
+			return
+		}
+	}
+	iter := int32(-1)
+	for c := range b.waiting {
+		if b.waiting[c] {
+			iter = b.iter[c]
+		}
+		b.waiting[c] = false
+	}
+	if b.onOpen != nil && iter >= 0 {
+		b.onOpen(iter)
+	}
+}
+
+func (b *barrier) gated(core int) bool { return b.waiting[core] }
+
+// New wires a machine for the given workload.
+func New(cfg Config, app *apps.App) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores != app.Cores {
+		return nil, fmt.Errorf("sim: config has %d cores, app %q has %d", cfg.Cores, app.Name, app.Cores)
+	}
+	s := &System{cfg: cfg, app: app, mc: dram.New(cfg.DRAM)}
+	s.barrier = newBarrier(cfg.Cores)
+	s.ctx = newCtxSwitch(cfg.CtxSwitch)
+
+	// Shared LLC (real or ideal) on top of DRAM.
+	var llcBackend mem.Backend
+	if cfg.IdealLLC {
+		s.ideal = newIdealLLC(cfg.LLC.Latency, s.mc)
+		llcBackend = s.ideal
+	} else {
+		s.llc = cache.New(cfg.LLC)
+		s.llc.SetLower(s.mc)
+		llcBackend = s.llc
+	}
+
+	sources := app.Sources()
+	s.cores = make([]*cpu.Core, cfg.Cores)
+	s.l1s = make([]*cache.Cache, cfg.Cores)
+	s.l2s = make([]*cache.Cache, cfg.Cores)
+	s.engines = make([]*rnr.Engine, cfg.Cores)
+	s.prefs = make([]prefetch.Prefetcher, cfg.Cores)
+	s.droplets = make([]*prefetch.Droplet, cfg.Cores)
+	s.issueFns = make([]prefetch.IssueFunc, cfg.Cores)
+
+	for c := 0; c < cfg.Cores; c++ {
+		l2cfg := cfg.L2
+		l2cfg.Name = fmt.Sprintf("L2.%d", c)
+		l2 := cache.New(l2cfg)
+		l2.SetLower(llcBackend)
+		l1cfg := cfg.L1
+		l1cfg.Name = fmt.Sprintf("L1D.%d", c)
+		l1 := cache.New(l1cfg)
+		l1.SetLower(l2)
+		core := cpu.New(c, cfg.CPU, sources[c], l1)
+
+		s.cores[c], s.l1s[c], s.l2s[c] = core, l1, l2
+		s.wirePrefetcher(c)
+		s.wireCore(c)
+	}
+	return s, nil
+}
+
+// wirePrefetcher builds the per-core prefetcher stack for cfg.Prefetcher.
+func (s *System) wirePrefetcher(c int) {
+	cfg, app := s.cfg, s.app
+	switch cfg.Prefetcher {
+	case PFNone:
+		s.prefs[c] = prefetch.Nop{}
+	case PFNextLine:
+		s.prefs[c] = prefetch.NewNextLine(1)
+	case PFStream:
+		s.prefs[c] = prefetch.NewStream()
+	case PFGHB:
+		s.prefs[c] = prefetch.NewGHB()
+	case PFMISB:
+		m := prefetch.NewMISB()
+		m.Meta = s.metaHook(c)
+		s.prefs[c] = m
+	case PFBingo:
+		s.prefs[c] = prefetch.NewBingo()
+	case PFBestOffset:
+		s.prefs[c] = prefetch.NewBestOffset()
+	case PFDomino:
+		s.prefs[c] = prefetch.NewDomino()
+	case PFSteMS:
+		s.prefs[c] = prefetch.NewSteMS()
+	case PFDroplet:
+		d := prefetch.NewDroplet()
+		edge := app.EdgeRegion
+		d.EdgeRegion = func(l mem.Addr) bool { return edge.Contains(l) }
+		d.Resolve = app.Resolve
+		s.droplets[c] = d
+		s.prefs[c] = d
+	case PFIMP:
+		p := prefetch.NewIMP()
+		edge := app.EdgeRegion
+		p.IndexRegion = func(l mem.Addr) bool { return edge.Contains(l) }
+		p.Resolve = app.Resolve
+		s.prefs[c] = p
+	case PFRnR, PFRnRCombined:
+		e := rnr.NewEngine(c, s.mc)
+		e.Control = cfg.RnRControl
+		e.DefaultWindow = cfg.RnRWindow
+		if e.DefaultWindow == 0 {
+			e.DefaultWindow = cfg.DefaultWindowLines()
+		}
+		// Pace control's prefetch distance: a quarter of the L2, far
+		// enough to hide fill latency, small enough that pending lines
+		// survive until their demand.
+		e.LeadEntries = cfg.RnRLead
+		if e.LeadEntries == 0 {
+			e.LeadEntries = int(cfg.L2.SizeBytes / 64 / 4)
+		}
+		// And in reads: at most one L2's worth of demand churn may pass
+		// between a prefetch and its demand.
+		e.LeadReadsCap = int(cfg.L2.SizeBytes / 64)
+		e.RecordAllAccesses = cfg.RnRRecordAll
+		if cfg.RnRPrefetchToLLC {
+			// §III ablation: the LLC-destination variant widens the lead
+			// bounds to the LLC's capacity.
+			e.LeadEntries = int(cfg.LLC.SizeBytes / 64 / 4)
+			e.LeadReadsCap = int(cfg.LLC.SizeBytes / 64)
+		}
+		s.engines[c] = e
+		if cfg.Prefetcher == PFRnRCombined {
+			// RnR for the target structure, next-line for everything
+			// else, fenced out of the RnR range (§V-D).
+			nl := &prefetch.RegionFilter{
+				Inner:    prefetch.NewNextLine(1),
+				Excluded: e.InRange,
+			}
+			s.prefs[c] = prefetch.Combine{e, nl}
+		} else {
+			s.prefs[c] = e
+		}
+	}
+}
+
+// wireCore connects the core's hooks, the L2's hooks and the prefetcher.
+func (s *System) wireCore(c int) {
+	core, l2 := s.cores[c], s.l2s[c]
+	engine := s.engines[c]
+
+	issue := s.issueFunc(c)
+	s.issueFns[c] = issue
+	// The hooks resolve s.prefs[c] at call time so a context switch can
+	// swap in a freshly-reset prefetcher (see ctxswitch.go).
+	l2.OnAccess = func(ev cache.AccessInfo) { s.prefs[c].OnAccess(ev, issue) }
+	l2.OnFill = func(line mem.Addr, prefetchFill bool, cycle uint64) {
+		s.prefs[c].OnFill(line, prefetchFill, cycle)
+	}
+	if engine != nil {
+		core.PreAccess = engine.PreAccess
+		l2.OnEvict = engine.OnEvict
+	}
+
+	core.OnMarker = func(rec trace.Record, cycle uint64) {
+		if engine != nil {
+			engine.HandleMarker(rec, cycle)
+		}
+		if rec.Marker == trace.MarkAddrBaseSet && rec.Aux == 0 &&
+			s.droplets[c] != nil && s.app.MakeResolver != nil {
+			s.droplets[c].Resolve = s.app.MakeResolver(rec.Addr)
+		}
+		if rec.Marker == trace.MarkIterEnd {
+			s.barrier.arrive(c, rec.Aux)
+		}
+	}
+	core.Gate = func() bool { return !s.barrier.gated(c) }
+	s.barrier.done = func(core int) bool { return s.cores[core].Done() }
+	s.barrier.onOpen = func(iter int32) {
+		for int(iter) >= len(s.iterEnd) {
+			s.iterEnd = append(s.iterEnd, 0)
+			s.iterSnaps = append(s.iterSnaps, cache.Stats{})
+		}
+		s.iterEnd[iter] = s.cycle
+		var snap cache.Stats
+		for c := range s.l2s {
+			snap.Add(s.l2s[c].Stats)
+		}
+		s.iterSnaps[iter] = snap
+	}
+}
+
+// issueFunc returns the prefetch-issue path into core c's L2 (or the
+// shared LLC under the §III destination ablation).
+func (s *System) issueFunc(c int) prefetch.IssueFunc {
+	if s.cfg.RnRPrefetchToLLC && s.llc != nil {
+		llc := s.llc
+		return func(line mem.Addr) bool {
+			req := mem.NewRequest(mem.ReqPrefetch, line, 0, c, s.cycle)
+			return llc.TryPrefetch(req)
+		}
+	}
+	l2 := s.l2s[c]
+	return func(line mem.Addr) bool {
+		req := mem.NewRequest(mem.ReqPrefetch, line, 0, c, s.cycle)
+		return l2.TryPrefetch(req)
+	}
+}
+
+// metaHook returns MISB's off-chip metadata path.
+func (s *System) metaHook(c int) func(write bool, addr mem.Addr) {
+	return func(write bool, addr mem.Addr) {
+		t := mem.ReqMetaRead
+		if write {
+			t = mem.ReqMetaWrite
+		}
+		req := mem.NewRequest(t, addr, 0, c, s.cycle)
+		// Best effort: a full queue drops the transaction; the traffic
+		// model is what matters for MISB.
+		s.mc.TryEnqueue(req)
+	}
+}
+
+// Tick advances the machine one cycle.
+func (s *System) Tick() {
+	s.cycle++
+	now := s.cycle
+	switchedOut := s.ctx.tick(s, now)
+	for c := range s.cores {
+		if switchedOut {
+			continue // the process is descheduled: cores make no progress
+		}
+		s.cores[c].Tick(now)
+	}
+	for c := range s.cores {
+		s.l1s[c].Tick(now)
+		s.l2s[c].Tick(now)
+		s.prefs[c].OnCycle(now, s.issueFns[c])
+	}
+	if s.llc != nil {
+		s.llc.Tick(now)
+	}
+	if s.ideal != nil {
+		s.ideal.Tick(now)
+	}
+	s.mc.Tick(now)
+	s.barrier.maybeOpen()
+}
+
+// Done reports whether every core has drained and the memory system is
+// quiet.
+func (s *System) Done() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	for i := range s.l1s {
+		if s.l1s[i].Pending() > 0 || s.l2s[i].Pending() > 0 {
+			return false
+		}
+	}
+	if s.llc != nil && s.llc.Pending() > 0 {
+		return false
+	}
+	return s.mc.Pending() == 0
+}
+
+// Run drives the machine to completion and returns the collected result.
+func Run(cfg Config, app *apps.App) (*Result, error) {
+	s, err := New(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunAll()
+}
+
+// RunAll drives an assembled system to completion.
+func (s *System) RunAll() (*Result, error) {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	for !s.Done() {
+		if s.cycle >= maxCycles {
+			return nil, fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
+				s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
+		}
+		s.Tick()
+	}
+	return s.collect(), nil
+}
+
+// Snapshot returns a one-line progress dump for debugging stalled runs.
+func (s *System) Snapshot() string {
+	out := fmt.Sprintf("cycle=%d", s.cycle)
+	for c := range s.cores {
+		out += fmt.Sprintf(" core%d[done=%v instr=%d gated=%v l1p=%d l2p=%d]",
+			c, s.cores[c].Done(), s.cores[c].Stats.Instructions,
+			s.barrier.gated(c), s.l1s[c].Pending(), s.l2s[c].Pending())
+	}
+	if s.llc != nil {
+		out += fmt.Sprintf(" llcp=%d", s.llc.Pending())
+	}
+	out += fmt.Sprintf(" mcp=%d rq=%d wq=%d", s.mc.Pending(), s.mc.ReadQLen(), s.mc.WriteQLen())
+	return out
+}
+
+func (s *System) collect() *Result {
+	r := &Result{
+		ConfigName: s.cfg.Name,
+		Prefetcher: s.cfg.Prefetcher,
+		App:        s.app.Name,
+		Input:      s.app.Input,
+		Cycles:     s.cycle,
+		Iterations: s.app.Iterations,
+		IterEnd:    append([]uint64(nil), s.iterEnd...),
+		IterL2:     append([]cache.Stats(nil), s.iterSnaps...),
+		DRAM:       s.mc.Stats,
+		InputBytes: s.app.InputBytes,
+		Check:      s.app.Check,
+	}
+	for c := range s.cores {
+		st := s.cores[c].Stats
+		r.CoreStats = append(r.CoreStats, st)
+		r.Instructions += st.Instructions
+		r.L1.Add(s.l1s[c].Stats)
+		r.L2.Add(s.l2s[c].Stats)
+		if s.engines[c] != nil {
+			addRnRStats(&r.RnR, s.engines[c].Stats)
+		}
+	}
+	if s.llc != nil {
+		r.LLC = s.llc.Stats
+	}
+	return r
+}
+
+func addRnRStats(dst *rnr.Stats, s rnr.Stats) {
+	dst.StructReads += s.StructReads
+	dst.RecordedEntries += s.RecordedEntries
+	dst.RecordedWindows += s.RecordedWindows
+	dst.SeqOverflows += s.SeqOverflows
+	dst.MetaWriteLines += s.MetaWriteLines
+	dst.MetaReadLines += s.MetaReadLines
+	dst.TLBLookups += s.TLBLookups
+	dst.Prefetches += s.Prefetches
+	dst.Replays += s.Replays
+	dst.Pauses += s.Pauses
+	dst.Resumes += s.Resumes
+	dst.EarlyPrefetches += s.EarlyPrefetches
+	dst.OutOfWindow += s.OutOfWindow
+	dst.SeqTableBytes += s.SeqTableBytes
+	dst.DivTableBytes += s.DivTableBytes
+	dst.ReplayStructMisses += s.ReplayStructMisses
+	dst.ReplayMissesCovered += s.ReplayMissesCovered
+	dst.SkippedEntries += s.SkippedEntries
+}
+
+// Engines exposes the per-core RnR engines (nil entries when RnR is not
+// configured); used by tests and debugging tools.
+func (s *System) Engines() []*rnr.Engine { return s.engines }
+
+// Occupancy returns a diagnostic line of queue occupancies for core c.
+func (s *System) Occupancy(c int) string {
+	rob, lsq := s.cores[c].Occupancy()
+	r1, p1, w1, m1 := s.l1s[c].Occupancy()
+	r2, p2, w2, m2 := s.l2s[c].Occupancy()
+	out := fmt.Sprintf("rob=%d lsq=%d L1[r%d p%d w%d m%d] L2[r%d p%d w%d m%d]",
+		rob, lsq, r1, p1, w1, m1, r2, p2, w2, m2)
+	if s.llc != nil {
+		r3, p3, w3, m3 := s.llc.Occupancy()
+		out += fmt.Sprintf(" LLC[r%d p%d w%d m%d]", r3, p3, w3, m3)
+	}
+	out += fmt.Sprintf(" DRAM[r%d w%d]", s.mc.ReadQLen(), s.mc.WriteQLen())
+	return out
+}

@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CG solves A x = b for symmetric positive definite A with the conjugate
+// gradient method, the spCG kernel of the paper (sparse CG from the Adept
+// benchmark suite [23]). The solver is exact numerics; the trace-side twin
+// in internal/apps emits the corresponding memory accesses.
+
+// ErrNoConvergence is returned when CG fails to reach the tolerance.
+var ErrNoConvergence = errors.New("sparse: CG did not converge")
+
+// CGResult reports the solve outcome.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+}
+
+// CG runs at most maxIter iterations, stopping when ||r|| <= tol*||b||.
+// x is used as the initial guess and overwritten with the solution.
+func CG(a *Matrix, x, b []float64, tol float64, maxIter int) (CGResult, error) {
+	if a.N != len(x) || a.N != len(b) {
+		return CGResult{}, fmt.Errorf("sparse: CG dimension mismatch n=%d x=%d b=%d", a.N, len(x), len(b))
+	}
+	n := a.N
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	// r = b - A x, p = r.
+	a.SpMV(ap, x)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+		p[i] = r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rs := Dot(r, r)
+	res := CGResult{}
+	for k := 0; k < maxIter; k++ {
+		res.Iterations = k
+		res.Residual = math.Sqrt(rs) / bnorm
+		if res.Residual <= tol {
+			return res, nil
+		}
+		a.SpMV(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("sparse: matrix not SPD (pAp=%g at iter %d)", pap, k)
+		}
+		alpha := rs / pap
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	res.Iterations = maxIter
+	res.Residual = math.Sqrt(rs) / bnorm
+	if res.Residual <= tol {
+		return res, nil
+	}
+	return res, ErrNoConvergence
+}

@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// The generators mirror the paper's spCG inputs (Table III), preserving
+// the *sparsity structure* that determines memory behaviour:
+//
+//	atmosmodj — atmospheric model: 3-D 7-point stencil, narrow regular
+//	            bands, excellent column locality
+//	bbmat     — CFD beam matrix: banded with substantial random fill
+//	            inside the band
+//	nlpkkt80  — KKT optimisation system: 3-D stencil with block coupling,
+//	            wide multi-band structure
+//	pdb1HYS   — protein: small dense blocks with long-range couplings,
+//	            the most irregular column pattern
+//
+// All are symmetric positive definite by construction (diagonally
+// dominant symmetric), so CG provably converges on them.
+
+type entry struct {
+	col uint32
+	val float64
+}
+
+// buildSPD assembles a symmetric diagonally-dominant CSR matrix from the
+// strictly-lower off-diagonal pattern produced by gen (which must emit
+// cols < row). Values are negative off-diagonals with a dominant positive
+// diagonal, the standard Laplacian-like SPD construction.
+func buildSPD(name string, n int, gen func(row int, emit func(col int))) *Matrix {
+	lower := make([][]entry, n)
+	upper := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		gen(i, func(col int) {
+			if col < 0 || col >= i {
+				return
+			}
+			lower[i] = append(lower[i], entry{uint32(col), -1})
+			upper[col] = append(upper[col], entry{uint32(i), -1})
+		})
+	}
+	m := &Matrix{N: n, Offsets: make([]int64, n+1), Name: name}
+	var nnz int64
+	for i := 0; i < n; i++ {
+		row := append(append([]entry{}, lower[i]...), upper[i]...)
+		row = dedup(row)
+		diag := float64(len(row)) + 1 // strict dominance
+		row = append(row, entry{uint32(i), diag})
+		sort.Slice(row, func(a, b int) bool { return row[a].col < row[b].col })
+		for _, e := range row {
+			m.Cols = append(m.Cols, e.col)
+			m.Vals = append(m.Vals, e.val)
+		}
+		nnz += int64(len(row))
+		m.Offsets[i+1] = nnz
+	}
+	return m
+}
+
+func dedup(row []entry) []entry {
+	sort.Slice(row, func(a, b int) bool { return row[a].col < row[b].col })
+	out := row[:0]
+	for i, e := range row {
+		if i == 0 || e.col != row[i-1].col {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stencil3D generates an atmosmodj-like matrix: a 7-point stencil on an
+// nx*ny*nz grid.
+func Stencil3D(nx, ny, nz int) *Matrix {
+	n := nx * ny * nz
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	m := buildSPD("atmosmodj", n, func(row int, emit func(int)) {
+		x := row % nx
+		y := row / nx % ny
+		z := row / (nx * ny)
+		if x > 0 {
+			emit(idx(x-1, y, z))
+		}
+		if y > 0 {
+			emit(idx(x, y-1, z))
+		}
+		if z > 0 {
+			emit(idx(x, y, z-1))
+		}
+	})
+	return m
+}
+
+// Banded generates a bbmat-like matrix: a band of the given half-width
+// with fill probability p inside the band.
+func Banded(n, halfWidth int, p float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := buildSPD("bbmat", n, func(row int, emit func(int)) {
+		lo := row - halfWidth
+		if lo < 0 {
+			lo = 0
+		}
+		emit(row - 1) // always the sub-diagonal, keeps the matrix connected
+		for c := lo; c < row-1; c++ {
+			if rng.Float64() < p {
+				emit(c)
+			}
+		}
+	})
+	return m
+}
+
+// BlockStencil generates an nlpkkt80-like matrix: a 3-D stencil of b x b
+// dense blocks (block coupling from the KKT structure).
+func BlockStencil(nx, ny, nz, b int) *Matrix {
+	cells := nx * ny * nz
+	n := cells * b
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	m := buildSPD("nlpkkt80", n, func(row int, emit func(int)) {
+		cell := row / b
+		lane := row % b
+		x := cell % nx
+		y := cell / nx % ny
+		z := cell / (nx * ny)
+		// Intra-block coupling.
+		for l := 0; l < lane; l++ {
+			emit(cell*b + l)
+		}
+		// Stencil coupling on the same lane.
+		if x > 0 {
+			emit(idx(x-1, y, z)*b + lane)
+		}
+		if y > 0 {
+			emit(idx(x, y-1, z)*b + lane)
+		}
+		if z > 0 {
+			emit(idx(x, y, z-1)*b + lane)
+		}
+	})
+	return m
+}
+
+// ProteinBlocks generates a pdb1HYS-like matrix: dense diagonal blocks
+// (residues) with random long-range couplings (contacts).
+func ProteinBlocks(nblocks, bsize, contacts int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	n := nblocks * bsize
+	m := buildSPD("pdb1HYS", n, func(row int, emit func(int)) {
+		blk := row / bsize
+		// Dense inside the block.
+		for c := blk * bsize; c < row; c++ {
+			emit(c)
+		}
+		// Long-range contacts to random earlier blocks.
+		for k := 0; k < contacts; k++ {
+			if blk == 0 {
+				break
+			}
+			tb := rng.Intn(blk)
+			emit(tb*bsize + rng.Intn(bsize))
+		}
+	})
+	return m
+}

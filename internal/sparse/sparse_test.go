@@ -1,0 +1,227 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allMatrices() map[string]*Matrix {
+	return map[string]*Matrix{
+		"atmosmodj": Stencil3D(8, 8, 8),
+		"bbmat":     Banded(400, 24, 0.2, 1),
+		"nlpkkt80":  BlockStencil(5, 5, 5, 4),
+		"pdb1HYS":   ProteinBlocks(30, 12, 3, 2),
+	}
+}
+
+func TestGeneratorsProduceValidCSR(t *testing.T) {
+	for name, m := range allMatrices() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.N == 0 || m.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", name)
+		}
+	}
+}
+
+func TestGeneratorsSymmetric(t *testing.T) {
+	for name, m := range allMatrices() {
+		kind := map[[2]uint32]float64{}
+		for i := 0; i < m.N; i++ {
+			cols, vals := m.Row(i)
+			for k, c := range cols {
+				kind[[2]uint32{uint32(i), c}] = vals[k]
+			}
+		}
+		for key, v := range kind {
+			if w, ok := kind[[2]uint32{key[1], key[0]}]; !ok || w != v {
+				t.Fatalf("%s: entry (%d,%d)=%g has no symmetric twin", name, key[0], key[1], v)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDiagonallyDominant(t *testing.T) {
+	for name, m := range allMatrices() {
+		for i := 0; i < m.N; i++ {
+			cols, vals := m.Row(i)
+			var diag, off float64
+			for k, c := range cols {
+				if int(c) == i {
+					diag = vals[k]
+				} else {
+					off += math.Abs(vals[k])
+				}
+			}
+			if diag <= off {
+				t.Fatalf("%s: row %d not diagonally dominant (%g vs %g)", name, i, diag, off)
+			}
+		}
+	}
+}
+
+func TestSpMVAgainstDense(t *testing.T) {
+	m := Banded(50, 6, 0.4, 7)
+	dense := make([][]float64, m.N)
+	for i := range dense {
+		dense[i] = make([]float64, m.N)
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			dense[i][c] = vals[k]
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, m.N)
+	m.SpMV(y, x)
+	for i := range y {
+		var want float64
+		for j := range x {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("SpMV row %d = %g, dense says %g", i, y[i], want)
+		}
+	}
+}
+
+func TestCGSolvesAllInputs(t *testing.T) {
+	for name, m := range allMatrices() {
+		rng := rand.New(rand.NewSource(3))
+		want := make([]float64, m.N)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m.N)
+		m.SpMV(b, want)
+		x := make([]float64, m.N)
+		res, err := CG(m, x, b, 1e-8, 10*m.N)
+		if err != nil {
+			t.Fatalf("%s: %v (res %+v)", name, err, res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-5 {
+				t.Fatalf("%s: x[%d] = %g, want %g", name, i, x[i], want[i])
+			}
+		}
+		if res.Iterations == 0 {
+			t.Errorf("%s: converged in zero iterations — suspicious", name)
+		}
+	}
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	m := Stencil3D(3, 3, 3)
+	_, err := CG(m, make([]float64, 5), make([]float64, m.N), 1e-6, 10)
+	if err == nil {
+		t.Error("CG accepted mismatched dimensions")
+	}
+}
+
+func TestCGNoConvergenceReported(t *testing.T) {
+	// Note: a constant vector is an eigenvector of the buildSPD
+	// construction (every row sums to 1), so use a varying RHS.
+	m := Stencil3D(6, 6, 6)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	x := make([]float64, m.N)
+	_, err := CG(m, x, b, 1e-14, 1)
+	if err == nil {
+		t.Error("CG claimed convergence after 1 iteration at 1e-14")
+	}
+}
+
+func TestCGResidualMonotonicallyReasonable(t *testing.T) {
+	// CG residual in the A-norm is monotone; the 2-norm can fluctuate but
+	// the final residual must meet the tolerance.
+	m := BlockStencil(4, 4, 4, 3)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := make([]float64, m.N)
+	res, err := CG(m, x, b, 1e-10, 5*m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-10 {
+		t.Errorf("final residual %g", res.Residual)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g", got)
+	}
+	y := []float64{1, 1}
+	Axpy(y, 2, []float64{10, 20})
+	if y[0] != 21 || y[1] != 41 {
+		t.Errorf("Axpy = %v", y)
+	}
+}
+
+func TestSummaryAndBytes(t *testing.T) {
+	m := Stencil3D(4, 4, 4)
+	s := m.Summary()
+	if s.N != 64 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Bandwidth != 16 { // z-neighbour distance nx*ny
+		t.Errorf("bandwidth = %d, want 16", s.Bandwidth)
+	}
+	want := uint64(65*8) + uint64(m.NNZ())*12 + uint64(2*64)*8
+	if m.InputBytes() != want {
+		t.Errorf("InputBytes = %d, want %d", m.InputBytes(), want)
+	}
+}
+
+func TestSpMVLinearityProperty(t *testing.T) {
+	m := Banded(60, 5, 0.3, 11)
+	prop := func(seed int64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, m.N)
+		z := make([]float64, m.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			z[i] = rng.NormFloat64()
+		}
+		// A(x + alpha z) == Ax + alpha Az
+		lhsIn := make([]float64, m.N)
+		for i := range lhsIn {
+			lhsIn[i] = x[i] + alpha*z[i]
+		}
+		lhs := make([]float64, m.N)
+		ax := make([]float64, m.N)
+		az := make([]float64, m.N)
+		m.SpMV(lhs, lhsIn)
+		m.SpMV(ax, x)
+		m.SpMV(az, z)
+		for i := range lhs {
+			want := ax[i] + alpha*az[i]
+			tol := 1e-7 * (1 + math.Abs(want))
+			if math.Abs(lhs[i]-want) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import "rnrsim/internal/mem"
+
+// Builder accumulates a trace with small conveniences the workload
+// generators want: adjacent Exec records coalesce, and the RnR software
+// interface is exposed with the same shape as the paper's Table I so the
+// workload code reads like Algorithm 1.
+type Builder struct {
+	recs []Record
+}
+
+// NewBuilder returns an empty trace builder with the given capacity hint.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{recs: make([]Record, 0, capacity)}
+}
+
+// Exec appends n non-memory instructions, merging with a preceding Exec.
+func (b *Builder) Exec(n uint64) {
+	if n == 0 {
+		return
+	}
+	if k := len(b.recs); k > 0 && b.recs[k-1].Kind == KindExec {
+		b.recs[k-1].Count += n
+		return
+	}
+	b.recs = append(b.recs, Exec(n))
+}
+
+// Load appends a load of size bytes at addr from site pc in region.
+func (b *Builder) Load(pc uint64, addr mem.Addr, size uint64, region int32) {
+	b.recs = append(b.recs, Load(pc, addr, size, region))
+}
+
+// Store appends a store of size bytes at addr from site pc in region.
+func (b *Builder) Store(pc uint64, addr mem.Addr, size uint64, region int32) {
+	b.recs = append(b.recs, Store(pc, addr, size, region))
+}
+
+// Mark appends an arbitrary marker record.
+func (b *Builder) Mark(m Marker, addr mem.Addr, count uint64, aux int32) {
+	b.recs = append(b.recs, Mark(m, addr, count, aux))
+}
+
+// RnRInit emits RnR.init() followed by the metadata table base registers.
+// seq and div are the programmer-allocated metadata regions.
+func (b *Builder) RnRInit(seq, div mem.Region, windowSize uint64) {
+	b.Mark(MarkInit, 0, 0, 0)
+	b.Mark(MarkSeqTable, seq.Base, seq.Size, 0)
+	b.Mark(MarkDivTable, div.Base, div.Size, 0)
+	if windowSize > 0 {
+		b.Mark(MarkWindowSize, 0, windowSize, 0)
+	}
+}
+
+// AddrBaseSet emits AddrBase.set(addr, size) into boundary slot.
+func (b *Builder) AddrBaseSet(slot int, base mem.Addr, size uint64) {
+	b.Mark(MarkAddrBaseSet, base, size, int32(slot))
+}
+
+// AddrBaseEnable emits AddrBase.enable(addr) for the boundary slot.
+func (b *Builder) AddrBaseEnable(slot int) { b.Mark(MarkAddrBaseEnable, 0, 0, int32(slot)) }
+
+// AddrBaseDisable emits AddrBase.disable(addr) for the boundary slot.
+func (b *Builder) AddrBaseDisable(slot int) { b.Mark(MarkAddrBaseDisable, 0, 0, int32(slot)) }
+
+// WindowSize emits WindowSize.set(size).
+func (b *Builder) WindowSize(size uint64) { b.Mark(MarkWindowSize, 0, size, 0) }
+
+// RecordStart emits PrefetchState.start().
+func (b *Builder) RecordStart() { b.Mark(MarkRecordStart, 0, 0, 0) }
+
+// Replay emits PrefetchState.replay().
+func (b *Builder) Replay() { b.Mark(MarkReplay, 0, 0, 0) }
+
+// Pause emits PrefetchState.pause().
+func (b *Builder) Pause() { b.Mark(MarkPause, 0, 0, 0) }
+
+// Resume emits PrefetchState.resume().
+func (b *Builder) Resume() { b.Mark(MarkResume, 0, 0, 0) }
+
+// PrefetchEnd emits PrefetchState.end().
+func (b *Builder) PrefetchEnd() { b.Mark(MarkPrefetchEnd, 0, 0, 0) }
+
+// RnREnd emits RnR.end(), releasing the metadata storage.
+func (b *Builder) RnREnd() { b.Mark(MarkEnd, 0, 0, 0) }
+
+// IterBegin / IterEnd bracket workload iteration it.
+func (b *Builder) IterBegin(it int) { b.Mark(MarkIterBegin, 0, 0, int32(it)) }
+
+// IterEnd closes workload iteration it.
+func (b *Builder) IterEnd(it int) { b.Mark(MarkIterEnd, 0, 0, int32(it)) }
+
+// ROIBegin / ROIEnd bracket the measured region of interest.
+func (b *Builder) ROIBegin() { b.Mark(MarkROIBegin, 0, 0, 0) }
+
+// ROIEnd closes the measured region of interest.
+func (b *Builder) ROIEnd() { b.Mark(MarkROIEnd, 0, 0, 0) }
+
+// Records returns the accumulated trace.
+func (b *Builder) Records() []Record { return b.recs }
+
+// Source returns a Source over the accumulated trace.
+func (b *Builder) Source() *SliceSource { return NewSliceSource(b.recs) }
+
+// Len returns the number of records (not instructions) accumulated.
+func (b *Builder) Len() int { return len(b.recs) }
+
+// Instructions returns the total dynamic instruction count of the trace.
+func (b *Builder) Instructions() uint64 {
+	var n uint64
+	for _, r := range b.recs {
+		n += r.Instructions()
+	}
+	return n
+}

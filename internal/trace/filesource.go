@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"rnrsim/internal/mem"
+)
+
+// FileSource streams records from a binary trace file without loading it
+// into memory, so multi-gigabyte traces can drive the simulator directly.
+// It implements Source; Close releases the file.
+type FileSource struct {
+	f         *os.File
+	br        *bufio.Reader
+	remaining uint64
+	err       error
+}
+
+// OpenFile opens a trace written by Write and validates its header.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if [4]byte(head[0:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != formatVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	return &FileSource{
+		f:         f,
+		br:        br,
+		remaining: binary.LittleEndian.Uint64(head[8:16]),
+	}, nil
+}
+
+// Next implements Source. The first read error latches and ends the
+// stream; check Err after draining.
+func (s *FileSource) Next() (Record, bool) {
+	if s.err != nil || s.remaining == 0 {
+		return Record{}, false
+	}
+	var buf [32]byte
+	if _, err := io.ReadFull(s.br, buf[:]); err != nil {
+		s.err = fmt.Errorf("%w: truncated: %v", ErrBadTrace, err)
+		return Record{}, false
+	}
+	s.remaining--
+	return Record{
+		Kind:   Kind(buf[0]),
+		Marker: Marker(buf[1]),
+		Aux:    int32(binary.LittleEndian.Uint32(buf[4:8])),
+		PC:     binary.LittleEndian.Uint64(buf[8:16]),
+		Addr:   mem.Addr(binary.LittleEndian.Uint64(buf[16:24])),
+		Count:  binary.LittleEndian.Uint64(buf[24:32]),
+	}, true
+}
+
+// Remaining returns how many records are left to read.
+func (s *FileSource) Remaining() uint64 { return s.remaining }
+
+// Err returns the first read error, if any.
+func (s *FileSource) Err() error { return s.err }
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }

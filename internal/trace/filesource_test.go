@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randomRecords(500, rng)
+	path := filepath.Join(t.TempDir(), "t.rnrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Remaining() != 500 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	for i, want := range recs {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d: %v", i, s.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next past the end returned ok")
+	}
+	if s.Err() != nil {
+		t.Errorf("clean drain left error %v", s.Err())
+	}
+}
+
+func TestFileSourceTruncation(t *testing.T) {
+	recs := []Record{Exec(1), Load(1, 64, 8, -1), Exec(2)}
+	path := filepath.Join(t.TempDir(), "t.rnrt")
+	f, _ := os.Create(path)
+	if err := Write(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Chop the last record in half.
+	if err := os.Truncate(path, 16+32*2+10); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("read %d records from truncated file, want 2", n)
+	}
+	if !errors.Is(s.Err(), ErrBadTrace) {
+		t.Errorf("Err = %v, want ErrBadTrace", s.Err())
+	}
+}
+
+func TestFileSourceRejectsGarbageHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.rnrt")
+	os.WriteFile(path, []byte("definitely not a trace"), 0o644)
+	if _, err := OpenFile(path); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("OpenFile = %v, want ErrBadTrace", err)
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("OpenFile accepted a missing file")
+	}
+}

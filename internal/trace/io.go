@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rnrsim/internal/mem"
+)
+
+// Binary trace format, little endian:
+//
+//	magic   [4]byte  "RNRT"
+//	version uint32   currently 1
+//	count   uint64   number of records
+//	records count × (kind u8, marker u8, aux i32 (2-byte pad before),
+//	                 pc u64, addr u64, count u64)
+//
+// The fixed 32-byte record keeps the reader trivial; traces compress well
+// externally if needed.
+
+var magic = [4]byte{'R', 'N', 'R', 'T'}
+
+const formatVersion = 1
+
+// ErrBadTrace is returned when a trace stream fails validation.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// Write serialises the records to w in the binary trace format.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [32]byte
+	for _, r := range recs {
+		buf[0] = byte(r.Kind)
+		buf[1] = byte(r.Marker)
+		buf[2], buf[3] = 0, 0
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(r.Aux))
+		binary.LittleEndian.PutUint64(buf[8:16], r.PC)
+		binary.LittleEndian.PutUint64(buf[16:24], uint64(r.Addr))
+		binary.LittleEndian.PutUint64(buf[24:32], r.Count)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a complete trace from r.
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if [4]byte(head[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	const maxRecords = 1 << 32
+	if count > maxRecords {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
+	}
+	recs := make([]Record, 0, count)
+	var buf [32]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		rec := Record{
+			Kind:   Kind(buf[0]),
+			Marker: Marker(buf[1]),
+			Aux:    int32(binary.LittleEndian.Uint32(buf[4:8])),
+			PC:     binary.LittleEndian.Uint64(buf[8:16]),
+			Addr:   mem.Addr(binary.LittleEndian.Uint64(buf[16:24])),
+			Count:  binary.LittleEndian.Uint64(buf[24:32]),
+		}
+		if rec.Kind > KindMarker {
+			return nil, fmt.Errorf("%w: unknown kind %d at record %d", ErrBadTrace, rec.Kind, i)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

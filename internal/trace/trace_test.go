@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rnrsim/internal/mem"
+)
+
+func TestBuilderCoalescesExec(t *testing.T) {
+	b := NewBuilder(0)
+	b.Exec(3)
+	b.Exec(4)
+	b.Load(1, 0x100, 8, 0)
+	b.Exec(0) // no-op
+	b.Exec(2)
+	recs := b.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %v", len(recs), recs)
+	}
+	if recs[0].Count != 7 {
+		t.Errorf("coalesced exec count = %d, want 7", recs[0].Count)
+	}
+	if recs[2].Count != 2 {
+		t.Errorf("trailing exec count = %d, want 2", recs[2].Count)
+	}
+	if b.Instructions() != 7+1+2 {
+		t.Errorf("Instructions() = %d, want 10", b.Instructions())
+	}
+}
+
+func TestBuilderRnRSequence(t *testing.T) {
+	al := mem.NewAllocator(0x100000)
+	seq := al.AllocPage("seq", 1<<16)
+	div := al.AllocPage("div", 1<<10)
+
+	b := NewBuilder(0)
+	b.RnRInit(seq, div, 512)
+	b.AddrBaseSet(0, 0xdead000, 4096)
+	b.AddrBaseEnable(0)
+	b.RecordStart()
+	b.Replay()
+	b.Pause()
+	b.Resume()
+	b.PrefetchEnd()
+	b.RnREnd()
+
+	want := []Marker{
+		MarkInit, MarkSeqTable, MarkDivTable, MarkWindowSize,
+		MarkAddrBaseSet, MarkAddrBaseEnable, MarkRecordStart, MarkReplay,
+		MarkPause, MarkResume, MarkPrefetchEnd, MarkEnd,
+	}
+	recs := b.Records()
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, m := range want {
+		if recs[i].Kind != KindMarker || recs[i].Marker != m {
+			t.Errorf("record %d = %v, want marker %v", i, recs[i], m)
+		}
+	}
+	if recs[1].Addr != seq.Base || recs[1].Count != seq.Size {
+		t.Errorf("seq table record = %v, want base %#x size %d", recs[1], uint64(seq.Base), seq.Size)
+	}
+	if recs[3].Count != 512 {
+		t.Errorf("window size record = %v, want count 512", recs[3])
+	}
+	if recs[4].Addr != 0xdead000 || recs[4].Count != 4096 || recs[4].Aux != 0 {
+		t.Errorf("addrbase.set record = %v", recs[4])
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Record{Exec(5), Load(1, 64, 8, -1), Store(2, 128, 8, 0)}
+	s := NewSliceSource(recs)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var got []Record
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("drained %v, want %v", got, recs)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next after drain returned ok")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Kind != KindExec {
+		t.Errorf("after Reset got %v,%v", r, ok)
+	}
+}
+
+func randomRecords(n int, rng *rand.Rand) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		switch rng.Intn(4) {
+		case 0:
+			recs[i] = Exec(uint64(rng.Intn(1000) + 1))
+		case 1:
+			recs[i] = Load(rng.Uint64(), mem.Addr(rng.Uint64()), 8, int32(rng.Intn(8)-1))
+		case 2:
+			recs[i] = Store(rng.Uint64(), mem.Addr(rng.Uint64()), 8, -1)
+		default:
+			recs[i] = Mark(Marker(rng.Intn(int(MarkROIEnd)+1)), mem.Addr(rng.Uint64()), rng.Uint64(), int32(rng.Int31()))
+		}
+	}
+	return recs
+}
+
+func TestIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 7, 1000} {
+		recs := randomRecords(n, rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatalf("Write(%d records): %v", n, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(%d records): %v", n, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("round trip count %d != %d", len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestIORoundTripProperty(t *testing.T) {
+	prop := func(pc, addr, count uint64, aux int32, kindSel, markSel uint8) bool {
+		rec := Record{
+			Kind:   Kind(kindSel % 4),
+			Marker: Marker(markSel % uint8(MarkROIEnd+1)),
+			PC:     pc,
+			Addr:   mem.Addr(addr),
+			Count:  count,
+			Aux:    aux,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, []Record{rec}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"),     // bad magic
+		[]byte("RNRT\x99\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"),     // bad version
+		[]byte("RNRT\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00\x01"), // truncated records
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestRecordInstructionsAndString(t *testing.T) {
+	if got := Exec(10).Instructions(); got != 10 {
+		t.Errorf("Exec(10).Instructions() = %d", got)
+	}
+	if got := Load(1, 2, 8, -1).Instructions(); got != 1 {
+		t.Errorf("load Instructions() = %d", got)
+	}
+	if got := Mark(MarkReplay, 0, 0, 0).Instructions(); got != 1 {
+		t.Errorf("marker Instructions() = %d", got)
+	}
+	// String methods should not panic and should name things sensibly.
+	for _, s := range []string{Exec(1).String(), Load(1, 2, 3, 4).String(), Mark(MarkPause, 0, 0, 0).String()} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+	if KindLoad.String() != "load" || MarkReplay.String() != "state.replay" {
+		t.Errorf("names: %q %q", KindLoad, MarkReplay)
+	}
+}

@@ -1,0 +1,121 @@
+// Package rnrsim is a from-scratch reproduction of "RnR: A
+// Software-Assisted Record-and-Replay Hardware Prefetcher" (MICRO 2020):
+// a trace-driven multicore cache/DRAM simulator, the RnR prefetcher and
+// the baselines it is compared against, the paper's three workloads
+// (PageRank, HyperANF, spCG) on synthetic stand-ins for its inputs, and
+// the harness that regenerates every table and figure of the evaluation.
+//
+// This package is the public facade. A minimal session:
+//
+//	app, _ := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
+//	base, _ := rnrsim.Simulate(rnrsim.ScaledMachine(), app)
+//	cfg := rnrsim.ScaledMachine()
+//	cfg.Prefetcher = rnrsim.RnR
+//	res, _ := rnrsim.Simulate(cfg, app)
+//	fmt.Printf("speedup %.2fx\n", res.ComposedSpeedup(base, 100))
+//
+// The heavy machinery lives in internal/ packages; everything a user
+// needs — workload construction, machine configuration, simulation and
+// the per-figure experiment runners — is re-exported here.
+package rnrsim
+
+import (
+	"rnrsim/internal/apps"
+	"rnrsim/internal/bench"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/sim"
+)
+
+// Workload is a built application instance: per-core traces plus layout
+// metadata. Construct with BuildWorkload.
+type Workload = apps.App
+
+// Scale selects input sizes (ScaleTest, ScaleBench, ScaleLarge).
+type Scale = apps.Scale
+
+// Input scales.
+const (
+	ScaleTest  = apps.ScaleTest
+	ScaleBench = apps.ScaleBench
+	ScaleLarge = apps.ScaleLarge
+)
+
+// MachineConfig describes the simulated machine.
+type MachineConfig = sim.Config
+
+// Result is the outcome of one simulation with the paper's derived
+// metrics (speedup, MPKI, coverage, accuracy, traffic, timeliness).
+type Result = sim.Result
+
+// Prefetcher selects the hardware prefetcher configuration.
+type Prefetcher = sim.PrefetcherKind
+
+// The available prefetcher configurations.
+const (
+	NoPrefetcher = sim.PFNone
+	NextLine     = sim.PFNextLine
+	Stream       = sim.PFStream
+	GHB          = sim.PFGHB
+	MISB         = sim.PFMISB
+	Bingo        = sim.PFBingo
+	SteMS        = sim.PFSteMS
+	Droplet      = sim.PFDroplet
+	IMP          = sim.PFIMP
+	BestOffset   = sim.PFBestOffset
+	Domino       = sim.PFDomino
+	RnR          = sim.PFRnR
+	RnRCombined  = sim.PFRnRCombined
+)
+
+// TimingControl selects RnR's replay pacing (the Fig. 10/11 ablation).
+type TimingControl = rnr.TimingControl
+
+// Replay timing-control modes.
+const (
+	NoControl         = rnr.NoControl
+	WindowControl     = rnr.WindowControl
+	WindowPaceControl = rnr.WindowPaceControl
+)
+
+// Workloads lists the paper's applications: pagerank, hyperanf, spcg.
+var Workloads = apps.Workloads
+
+// InputsFor returns the paper's input names for a workload.
+func InputsFor(workload string) []string { return apps.InputsFor(workload) }
+
+// BuildWorkload constructs a workload ("pagerank", "hyperanf", "spcg") on
+// one of the paper's inputs (e.g. "urand", "amazon", "bbmat") at the
+// given scale. The build runs the real algorithm (actual PageRank
+// values, HyperLogLog sketches, a converging CG solve) while emitting the
+// kernel's memory trace.
+func BuildWorkload(workload, input string, scale Scale) (*Workload, error) {
+	return apps.Build(workload, input, scale)
+}
+
+// PaperMachine returns the paper's Table II configuration at full size.
+func PaperMachine() MachineConfig { return sim.Baseline() }
+
+// ScaledMachine returns the laptop-scale machine the experiment suite
+// uses, with capacities scaled to the ScaleBench inputs.
+func ScaledMachine() MachineConfig { return sim.Scaled() }
+
+// TestMachine returns a miniature machine paired with the ScaleTest
+// inputs — the right choice for quick demos and unit tests.
+func TestMachine() MachineConfig { return sim.Test() }
+
+// Simulate runs the workload on the configured machine to completion.
+func Simulate(cfg MachineConfig, app *Workload) (*Result, error) {
+	return sim.Run(cfg, app)
+}
+
+// Experiments is the per-figure/table experiment harness.
+type Experiments = bench.Suite
+
+// NewExperiments returns a harness that memoises workloads and runs.
+func NewExperiments(scale Scale) *Experiments { return bench.NewSuite(scale) }
+
+// ExperimentTable is one rendered table/figure.
+type ExperimentTable = bench.Table
+
+// HardwareBudget itemises RnR's per-core hardware cost (§VII-B).
+func HardwareBudget() rnr.HardwareBudget { return rnr.Budget() }

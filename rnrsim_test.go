@@ -1,0 +1,106 @@
+package rnrsim_test
+
+import (
+	"testing"
+
+	"rnrsim"
+)
+
+// The facade tests double as executable documentation: everything the
+// README shows must work exactly as written.
+
+func TestQuickstartFlow(t *testing.T) {
+	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "pagerank" || app.Input != "urand" || app.Cores != 4 {
+		t.Fatalf("unexpected workload identity: %+v", app)
+	}
+
+	base, err := rnrsim.Simulate(rnrsim.TestMachine(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rnrsim.TestMachine()
+	cfg.Prefetcher = rnrsim.RnR
+	res, err := rnrsim.Simulate(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.RnR.RecordedEntries == 0 || res.RnR.Prefetches == 0 {
+		t.Fatalf("RnR inactive: %+v", res.RnR)
+	}
+	if acc := res.Accuracy(); acc < 0.8 {
+		t.Errorf("accuracy %.2f, want the paper's >0.8 regime", acc)
+	}
+	if res.L2MPKI() >= base.L2MPKI() {
+		t.Errorf("RnR did not reduce MPKI: %.1f vs %.1f", res.L2MPKI(), base.L2MPKI())
+	}
+	if sp := res.ComposedSpeedup(base, 100); sp <= 1.0 {
+		t.Errorf("composed speedup %.2f, want > 1", sp)
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(rnrsim.Workloads) != 3 {
+		t.Fatalf("workloads = %v", rnrsim.Workloads)
+	}
+	for _, w := range rnrsim.Workloads {
+		inputs := rnrsim.InputsFor(w)
+		if len(inputs) != 4 {
+			t.Errorf("%s has %d inputs, want 4", w, len(inputs))
+		}
+	}
+	if _, err := rnrsim.BuildWorkload("nope", "urand", rnrsim.ScaleTest); err == nil {
+		t.Error("BuildWorkload accepted unknown workload")
+	}
+}
+
+func TestMachineConfigs(t *testing.T) {
+	paper := rnrsim.PaperMachine()
+	if paper.L2.SizeBytes != 256*1024 || paper.LLC.SizeBytes != 8*1024*1024 {
+		t.Errorf("paper machine deviates from Table II: %+v", paper)
+	}
+	scaled := rnrsim.ScaledMachine()
+	if scaled.L2.SizeBytes >= paper.L2.SizeBytes {
+		t.Error("scaled machine not smaller than the paper machine")
+	}
+	tst := rnrsim.TestMachine()
+	if tst.L2.SizeBytes >= scaled.L2.SizeBytes {
+		t.Error("test machine not smaller than the scaled machine")
+	}
+}
+
+func TestHardwareBudgetFacade(t *testing.T) {
+	b := rnrsim.HardwareBudget()
+	if b.TotalBytes() >= 1024 {
+		t.Errorf("budget %.1f B, paper requires < 1 KB/core", b.TotalBytes())
+	}
+	if b.SavedBytes() <= 0 {
+		t.Error("no context-switch state accounted")
+	}
+}
+
+func TestTimingControlAblationFacade(t *testing.T) {
+	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[rnrsim.TimingControl]uint64{}
+	for _, ctl := range []rnrsim.TimingControl{rnrsim.NoControl, rnrsim.WindowPaceControl} {
+		cfg := rnrsim.TestMachine()
+		cfg.Prefetcher = rnrsim.RnR
+		cfg.RnRControl = ctl
+		res, err := rnrsim.Simulate(cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[ctl] = res.Cycles
+	}
+	if cycles[rnrsim.WindowPaceControl] >= cycles[rnrsim.NoControl] {
+		t.Errorf("window+pace (%d cycles) not faster than uncontrolled replay (%d)",
+			cycles[rnrsim.WindowPaceControl], cycles[rnrsim.NoControl])
+	}
+}
