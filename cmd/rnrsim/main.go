@@ -6,17 +6,31 @@
 //
 //	rnrsim -workload pagerank -input urand -prefetchers rnr,nextline
 //	rnrsim -workload spcg -input bbmat -scale test -window 64
+//
+// Observability (see DESIGN.md "Observability"):
+//
+//	rnrsim -workload pagerank -input amazon -prefetchers rnr \
+//	       -metrics out.jsonl -trace-out trace.json -sample-interval 5000
+//
+// -metrics writes a cycle-sampled JSONL series (IPC, MPKI, occupancies,
+// rnr.replay_distance, ...); -trace-out writes Chrome trace-event JSON —
+// open it at https://ui.perfetto.dev or chrome://tracing. With several
+// prefetchers the prefetcher name is inserted before the extension
+// (out.rnr.jsonl). -cpuprofile/-memprofile write runtime/pprof profiles
+// of the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +42,19 @@ func main() {
 	window := flag.Uint64("window", 0, "RnR window size in lines (0 = half the L2)")
 	control := flag.String("control", "window+pace", "RnR timing control: nocontrol, window, window+pace")
 	iters := flag.Int("iters", 100, "iterations speedups are composed to")
+	metrics := flag.String("metrics", "", "write cycle-sampled telemetry series (JSONL) to this file")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	sampleInt := flag.Uint64("sample-interval", telemetry.DefaultSampleInterval,
+		"cycles between telemetry samples")
+	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	flag.Parse()
+
+	stopProf, err := telemetry.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer stopProf()
 
 	var sc apps.Scale
 	switch *scale {
@@ -81,12 +107,24 @@ func main() {
 		"prefetcher", "cycles", "IPC", "L2MPKI", "speedup", "coverage", "accuracy")
 	fmt.Printf("%-14s %10d %8.3f %8.1f %8s %9s %9s\n",
 		"baseline", base.Cycles, base.IPC(), base.L2MPKI(), "1.00", "-", "-")
+
+	var selected []sim.PrefetcherKind
 	for _, name := range strings.Split(*pfs, ",") {
 		pf := sim.PrefetcherKind(strings.TrimSpace(name))
 		if pf == sim.PFNone || pf == "" {
 			continue
 		}
-		r, err := sim.Run(mk(pf), app)
+		selected = append(selected, pf)
+	}
+	multi := len(selected) > 1
+	for _, pf := range selected {
+		cfg := mk(pf)
+		var rec *telemetry.Recorder
+		if *metrics != "" || *traceOut != "" {
+			rec = telemetry.New(telemetry.Config{SampleInterval: *sampleInt})
+			cfg.Telemetry = rec
+		}
+		r, err := sim.Run(cfg, app)
 		if err != nil {
 			fatal("%s: %v", pf, err)
 		}
@@ -102,7 +140,30 @@ func main() {
 				r.RecordOverheadPct(base),
 				tl.OnTime*100, tl.Early*100, tl.Late*100, tl.OutOfWindow*100)
 		}
+		if rec != nil {
+			if err := rec.WriteMetricsFile(perRunPath(*metrics, string(pf), multi)); err != nil {
+				fatal("%v", err)
+			}
+			if err := rec.WriteTraceFile(perRunPath(*traceOut, string(pf), multi)); err != nil {
+				fatal("%v", err)
+			}
+		}
 	}
+
+	if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// perRunPath returns base unchanged for a single instrumented run, and
+// inserts the prefetcher name before the extension ("out.rnr.jsonl")
+// when several runs share one flag value.
+func perRunPath(base, pf string, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + pf + ext
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rnrsim/internal/sim"
+)
+
+// RunExport pairs a memoised run key ("workload/input/prefetcher/tag")
+// with its machine-readable result, flattened into one JSON object.
+type RunExport struct {
+	Key string `json:"key"`
+	sim.ResultJSON
+}
+
+// Exports returns every result the suite has simulated so far, sorted by
+// key, as JSON-ready records.
+func (s *Suite) Exports() []RunExport {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]RunExport, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, RunExport{Key: k, ResultJSON: s.results[k].Export()})
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// WriteResultsJSON writes every memoised result as one indented JSON
+// array — the machine-readable companion to the text tables, so bench
+// trajectories can be generated without parsing the table output.
+func (s *Suite) WriteResultsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Exports())
+}
+
+// WriteResultsFile writes the JSON results next to the text tables.
+func (s *Suite) WriteResultsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := s.WriteResultsJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return f.Close()
+}

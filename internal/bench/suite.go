@@ -8,6 +8,7 @@ import (
 	"rnrsim/internal/graph"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
 )
 
 // Suite memoises workloads and simulation results so the per-figure
@@ -27,6 +28,14 @@ type Suite struct {
 
 	// Progress, if set, is called before each fresh simulation run.
 	Progress func(key string)
+
+	// Instrument, if set, is asked for a telemetry recorder per fresh
+	// run (return nil to leave that run uninstrumented). After the run
+	// completes, OnInstrumented (if set) receives the recorder back so
+	// the caller can export its series/trace. Memoised (repeated) runs
+	// are not re-instrumented.
+	Instrument     func(key string) *telemetry.Recorder
+	OnInstrumented func(key string, rec *telemetry.Recorder)
 }
 
 // NewSuite builds a suite at the given scale on the scaled Table II
@@ -83,9 +92,17 @@ func (s *Suite) Run(workload, input string, pf sim.PrefetcherKind, v Variant) *s
 	if s.Progress != nil {
 		s.Progress(key)
 	}
+	var rec *telemetry.Recorder
+	if s.Instrument != nil {
+		rec = s.Instrument(key)
+		cfg.Telemetry = rec
+	}
 	r, err := sim.Run(cfg, app)
 	if err != nil {
 		panic(err)
+	}
+	if rec != nil && s.OnInstrumented != nil {
+		s.OnInstrumented(key, rec)
 	}
 	s.mu.Lock()
 	s.results[key] = r

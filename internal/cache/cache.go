@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rnrsim/internal/mem"
+	"rnrsim/internal/telemetry"
 )
 
 // Config describes one cache level.
@@ -590,6 +591,30 @@ func (s Stats) Accuracy() float64 {
 // Occupancy reports queue and MSHR occupancy for diagnostics.
 func (c *Cache) Occupancy() (readQ, prefQ, writeQ, mshrs int) {
 	return len(c.readQ), len(c.prefQ), len(c.writeQ), len(c.mshrs)
+}
+
+// RegisterProbes registers this cache level's sampled series under
+// prefix (e.g. "l2.0."): instantaneous MSHR and input-queue occupancy
+// plus the demand miss rate over the previous sample interval. Pull-style
+// probes leave the lookup path untouched; a nil recorder is a no-op.
+func (c *Cache) RegisterProbes(tel *telemetry.Recorder, prefix string) {
+	if tel == nil {
+		return
+	}
+	tel.Probe(prefix+"mshr", func(uint64) float64 { return float64(len(c.mshrs)) })
+	tel.Probe(prefix+"readq", func(uint64) float64 { return float64(len(c.readQ)) })
+	tel.Probe(prefix+"prefq", func(uint64) float64 { return float64(len(c.prefQ)) })
+	tel.Probe(prefix+"writeq", func(uint64) float64 { return float64(len(c.writeQ)) })
+	var lastAcc, lastMiss uint64
+	tel.Probe(prefix+"miss_rate", func(uint64) float64 {
+		da := c.Stats.DemandAccesses - lastAcc
+		dm := c.Stats.DemandMisses - lastMiss
+		lastAcc, lastMiss = c.Stats.DemandAccesses, c.Stats.DemandMisses
+		if da == 0 {
+			return 0
+		}
+		return float64(dm) / float64(da)
+	})
 }
 
 // InvalidateAll drops every resident line, modelling the cache pollution

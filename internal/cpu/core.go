@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"rnrsim/internal/mem"
+	"rnrsim/internal/telemetry"
 	"rnrsim/internal/trace"
 )
 
@@ -296,3 +297,26 @@ func (c *Core) dispatchMarker(rec *trace.Record, now uint64) {
 
 // Occupancy reports ROB and LSQ occupancy for diagnostics.
 func (c *Core) Occupancy() (rob, lsq int) { return c.count, c.lsqUsed }
+
+// RegisterProbes registers this core's sampled series under prefix
+// (e.g. "cpu0."): instantaneous ROB/LSQ occupancy plus a windowed IPC
+// (instructions retired since the previous sample over cycles elapsed).
+// Probes are pull-style, so the core's hot loop is untouched; a nil
+// recorder is a no-op.
+func (c *Core) RegisterProbes(tel *telemetry.Recorder, prefix string) {
+	if tel == nil {
+		return
+	}
+	var lastCycles, lastInstr uint64
+	tel.Probe(prefix+"ipc", func(uint64) float64 {
+		dc := c.Stats.Cycles - lastCycles
+		di := c.Stats.Instructions - lastInstr
+		lastCycles, lastInstr = c.Stats.Cycles, c.Stats.Instructions
+		if dc == 0 {
+			return 0
+		}
+		return float64(di) / float64(dc)
+	})
+	tel.Probe(prefix+"rob", func(uint64) float64 { return float64(c.count) })
+	tel.Probe(prefix+"lsq", func(uint64) float64 { return float64(c.lsqUsed) })
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rnrsim/internal/mem"
+	"rnrsim/internal/telemetry"
 )
 
 // Config describes the memory system. All timing is expressed in CPU
@@ -109,6 +110,12 @@ type Controller struct {
 	draining  bool
 	burstLeft int // writes remaining in the current drain burst
 	Stats     Stats
+
+	// Tel, when set, receives a span per write-drain episode (the
+	// watermark-driven bursts that stall the read stream, one of the
+	// paper's replay hazards). Nil disables tracing at zero cost.
+	Tel        *telemetry.Recorder
+	drainStart uint64
 }
 
 // New builds a controller. It panics on an invalid configuration.
@@ -219,10 +226,18 @@ func (c *Controller) complete(now uint64) {
 func (c *Controller) updateDrainState() {
 	high := int(float64(c.cfg.WriteQ) * c.cfg.DrainHigh)
 	low := int(float64(c.cfg.WriteQ) * c.cfg.DrainLow)
+	was := c.draining
 	if len(c.writeQ) >= high {
 		c.draining = true
 	} else if len(c.writeQ) <= low {
 		c.draining = false
+	}
+	if c.Tel != nil && c.draining != was {
+		if c.draining {
+			c.drainStart = c.clock
+		} else {
+			c.Tel.Span("dram", "write-drain", c.drainStart, c.clock)
+		}
 	}
 	if len(c.writeQ) >= c.cfg.WriteQ && c.burstLeft == 0 {
 		c.burstLeft = writeBurstMin // full queue: force a burst now
@@ -356,6 +371,39 @@ func (c *Controller) serve(line mem.Addr, now uint64, write bool) uint64 {
 	b.readyAt = now + bankBusy
 	c.Stats.BusBusyCycles += c.cfg.BurstCycles
 	return finish
+}
+
+// RegisterProbes registers the controller's sampled series under prefix
+// (e.g. "dram."): read/write queue occupancy, the row-buffer hit rate
+// over the previous sample interval and data-bus utilisation. Pull-style
+// probes leave the scheduling loop untouched; a nil recorder is a no-op.
+func (c *Controller) RegisterProbes(tel *telemetry.Recorder, prefix string) {
+	if tel == nil {
+		return
+	}
+	tel.Probe(prefix+"readq", func(uint64) float64 { return float64(len(c.readQ)) })
+	tel.Probe(prefix+"writeq", func(uint64) float64 { return float64(len(c.writeQ)) })
+	var lastHits, lastMisses uint64
+	tel.Probe(prefix+"row_hit_rate", func(uint64) float64 {
+		dh := c.Stats.RowHits - lastHits
+		dm := c.Stats.RowMisses - lastMisses
+		lastHits, lastMisses = c.Stats.RowHits, c.Stats.RowMisses
+		if dh+dm == 0 {
+			return 0
+		}
+		return float64(dh) / float64(dh+dm)
+	})
+	var lastBusy, lastCycle uint64
+	tel.Probe(prefix+"bus_util", func(cycle uint64) float64 {
+		db := c.Stats.BusBusyCycles - lastBusy
+		dc := cycle - lastCycle
+		lastBusy, lastCycle = c.Stats.BusBusyCycles, cycle
+		if dc == 0 {
+			return 0
+		}
+		// Busy cycles accumulate across channels; normalise per channel.
+		return float64(db) / float64(dc) / float64(c.cfg.Channels)
+	})
 }
 
 func (c *Controller) account(r *mem.Request) {

@@ -4,6 +4,7 @@ import (
 	"rnrsim/internal/cache"
 	"rnrsim/internal/mem"
 	"rnrsim/internal/prefetch"
+	"rnrsim/internal/telemetry"
 	"rnrsim/internal/trace"
 )
 
@@ -125,6 +126,14 @@ type Engine struct {
 
 	track          map[mem.Addr]uint8
 	issuedThisIter map[mem.Addr]bool
+
+	// Telemetry (nil = disabled at zero cost): state-machine spans
+	// (record/replay/paused) and metadata-refill episodes are emitted on
+	// telTrack; see SetTelemetry.
+	tel         *telemetry.Recorder
+	telTrack    string
+	stateStart  uint64
+	refillStart uint64
 
 	Stats Stats
 }
@@ -315,8 +324,22 @@ func (e *Engine) finalizeRecord() {
 }
 
 // HandleMarker consumes the software interface (§IV, Table I). Wire it to
-// the core's OnMarker hook.
+// the core's OnMarker hook. State transitions are mirrored to the
+// telemetry tracer as spans (one per record/replay/paused episode), so a
+// loaded trace shows exactly when each core recorded, replayed or sat
+// paused across a context switch.
 func (e *Engine) HandleMarker(rec trace.Record, cycle uint64) {
+	prev := e.Arch.State
+	e.handleMarker(rec, cycle)
+	if e.tel != nil && e.Arch.State != prev {
+		if prev != StateIdle {
+			e.tel.Span(e.telTrack, prev.String(), e.stateStart, cycle)
+		}
+		e.stateStart = cycle
+	}
+}
+
+func (e *Engine) handleMarker(rec trace.Record, cycle uint64) {
 	switch rec.Marker {
 	case trace.MarkInit:
 		e.Arch = ArchState{ASID: uint64(e.Core) + 1, WindowSize: e.DefaultWindow}
@@ -521,6 +544,11 @@ func (e *Engine) streamMetadata(cycle uint64) {
 				return // replay was reset while this read was in flight
 			}
 			e.metaInFly--
+			if e.metaInFly == 0 && e.tel != nil {
+				// The buffer-refill episode (first outstanding read to
+				// last completion) just closed.
+				e.tel.Span(e.telTrack, "seq-refill", e.refillStart, cy)
+			}
 			e.fetchedIdx += entriesPerLine
 			if e.fetchedIdx > len(e.seq) {
 				e.fetchedIdx = len(e.seq)
@@ -534,6 +562,9 @@ func (e *Engine) streamMetadata(cycle uint64) {
 			e.metaIssued = len(e.seq)
 		}
 		e.metaInFly++
+		if e.metaInFly == 1 {
+			e.refillStart = cycle
+		}
 		e.Stats.MetaReadLines++
 		if page := mem.HugeAddr(addr); page != e.lastSeqPage {
 			e.lastSeqPage = page
@@ -687,6 +718,72 @@ func itoa(v int) string {
 		b[i] = '-'
 	}
 	return string(b[i:])
+}
+
+// SetTelemetry attaches a recorder (nil disables) and the trace track
+// this engine's spans are emitted on (e.g. "rnr.c0").
+func (e *Engine) SetTelemetry(tel *telemetry.Recorder, track string) {
+	e.tel = tel
+	e.telTrack = track
+}
+
+// ReplayDistance is the replay-timeliness headline series: the prefetch
+// cursor minus the consumption estimate, in sequence entries. Positive
+// means replay runs ahead of the demand stream (healthy, bounded by the
+// pace lead); values near zero or negative mean replay has fallen behind
+// and prefetches arrive late. Zero outside replay.
+func (e *Engine) ReplayDistance() int {
+	if e.Arch.State != StateReplay {
+		return 0
+	}
+	return e.nextIdx - e.consumedEstimate()
+}
+
+// WindowSlack is the headroom, in sequence entries, before the window
+// gate (at most one window ahead, §V-B) would block the prefetch cursor.
+// Zero outside replay or without window control.
+func (e *Engine) WindowSlack() int {
+	if e.Arch.State != StateReplay || e.Arch.WindowSize == 0 {
+		return 0
+	}
+	limit := (e.curWindow + 2) * int(e.Arch.WindowSize)
+	return limit - e.nextIdx
+}
+
+// PaceError is ReplayDistance minus the pace-control target lead:
+// negative while replay is still catching up to its target distance,
+// ~zero when pace control holds the cursor at the lead, positive only
+// transiently. Zero outside replay.
+func (e *Engine) PaceError() int {
+	if e.Arch.State != StateReplay {
+		return 0
+	}
+	return e.ReplayDistance() - e.lead()
+}
+
+// RegisterProbes registers this engine's sampled series under prefix
+// (e.g. "rnr.c0."): the replay-cursor geometry above, the current window
+// and the prefetch issue rate per sampled cycle. A nil recorder is a
+// no-op.
+func (e *Engine) RegisterProbes(tel *telemetry.Recorder, prefix string) {
+	if tel == nil {
+		return
+	}
+	tel.Probe(prefix+"replay_distance", func(uint64) float64 { return float64(e.ReplayDistance()) })
+	tel.Probe(prefix+"window_slack", func(uint64) float64 { return float64(e.WindowSlack()) })
+	tel.Probe(prefix+"pace_error", func(uint64) float64 { return float64(e.PaceError()) })
+	tel.Probe(prefix+"cur_window", func(uint64) float64 { return float64(e.curWindow) })
+	var lastPref uint64
+	var lastCycle uint64
+	tel.Probe(prefix+"prefetch_rate", func(cycle uint64) float64 {
+		dp := e.Stats.Prefetches - lastPref
+		dc := cycle - lastCycle
+		lastPref, lastCycle = e.Stats.Prefetches, cycle
+		if dc == 0 {
+			return 0
+		}
+		return float64(dp) / float64(dc)
+	})
 }
 
 // Sequence exposes the recorded sequence for tests and tools.

@@ -11,6 +11,7 @@ import (
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/rnr"
+	"rnrsim/internal/telemetry"
 )
 
 // PrefetcherKind names the prefetcher configuration under test.
@@ -75,6 +76,13 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations; 0 = a generous default.
 	MaxCycles uint64
+
+	// Telemetry, when non-nil, attaches the observability layer: every
+	// component registers its probes into the recorder at construction,
+	// the system samples the series every Telemetry.SampleInterval()
+	// cycles and emits trace spans (iterations, RnR state machine, DRAM
+	// drains, context switches). Nil costs one pointer compare per Tick.
+	Telemetry *telemetry.Recorder
 }
 
 // Baseline returns the paper's Table II machine: 4-core 4 GHz OoO with

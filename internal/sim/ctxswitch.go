@@ -26,6 +26,7 @@ type ctxSwitch struct {
 	nextAt   uint64
 	resumeAt uint64
 	out      bool
+	outStart uint64 // cycle of the current switch-out, for trace spans
 	switches uint64
 	saved    []rnr.SavedState // per-core RnR snapshots while switched out
 	hasSaved []bool
@@ -54,6 +55,7 @@ func (cs *ctxSwitch) tick(s *System, now uint64) bool {
 
 func (cs *ctxSwitch) switchOut(s *System, now uint64) {
 	cs.out = true
+	cs.outStart = now
 	cs.resumeAt = now + cs.cfg.Duration
 	cs.switches++
 	cs.saved = cs.saved[:0]
@@ -75,6 +77,8 @@ func (cs *ctxSwitch) switchOut(s *System, now uint64) {
 func (cs *ctxSwitch) switchIn(s *System, now uint64) {
 	cs.out = false
 	cs.nextAt = now + cs.cfg.Period
+	// One span per descheduling episode (nil-safe when telemetry is off).
+	s.tel.Span("sched", "switched-out", cs.outStart, now)
 	for c := range s.cores {
 		// The other process polluted the private caches.
 		s.l1s[c].InvalidateAll()

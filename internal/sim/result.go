@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/rnr"
+	"rnrsim/internal/telemetry"
 )
 
 // Result is the statistical outcome of one simulation, with the derived
@@ -54,8 +57,27 @@ func (r *Result) UsefulPrefetches() uint64 {
 // TotalPrefetches counts prefetches that fetched data from below.
 func (r *Result) TotalPrefetches() uint64 { return r.L2.PrefetchFillsDone }
 
+// CounterAccuracyClamped and CounterCoverageClamped name the
+// telemetry.Default counters that record how often a derived metric
+// exceeded 1.0 and was clamped. A clamp means the useful-prefetch
+// numerator double-counts relative to its denominator (e.g. a line
+// prefetched in a warm-up iteration serving a steady-state demand);
+// occasional clamps are accounting drift, a growing count is a bug.
+const (
+	CounterAccuracyClamped = "sim.accuracy_clamped"
+	CounterCoverageClamped = "sim.coverage_clamped"
+)
+
+var (
+	accuracyClamped = telemetry.Default.Counter(CounterAccuracyClamped)
+	coverageClamped = telemetry.Default.Counter(CounterCoverageClamped)
+)
+
 // Accuracy is useful / total issued prefetches (§VII-A.3), over the
-// steady-state iterations.
+// steady-state iterations. Values above 1 (numerator/denominator drift
+// across the steady-state window) are clamped, and every clamp is
+// counted in the telemetry.Default counter CounterAccuracyClamped so the
+// overflow is visible instead of silently hidden.
 func (r *Result) Accuracy() float64 {
 	s := r.steadyL2()
 	t := s.PrefetchFillsDone
@@ -64,6 +86,7 @@ func (r *Result) Accuracy() float64 {
 	}
 	acc := float64(s.PrefetchUseful+s.PrefetchLate) / float64(t)
 	if acc > 1 {
+		accuracyClamped.Inc()
 		acc = 1
 	}
 	return acc
@@ -84,6 +107,7 @@ func (r *Result) Coverage(baseline *Result) float64 {
 	}
 	cov := float64(own.PrefetchUseful+own.PrefetchLate) / float64(base.DemandMisses)
 	if cov > 1 {
+		coverageClamped.Inc()
 		cov = 1
 	}
 	return cov
@@ -236,6 +260,71 @@ func (r *Result) TimelinessBreakdown() Timeliness {
 		}
 	}
 	return t
+}
+
+// ResultJSON is the machine-readable export of a Result: the raw
+// counters plus the derived per-run metrics, so bench trajectories
+// (BENCH_*.json) can be produced without parsing text tables. Metrics
+// that need a baseline (speedup, coverage) are not included; compute
+// them from two exports.
+type ResultJSON struct {
+	Config     string `json:"config"`
+	Prefetcher string `json:"prefetcher"`
+	App        string `json:"app"`
+	Input      string `json:"input"`
+
+	Cycles       uint64   `json:"cycles"`
+	Instructions uint64   `json:"instructions"`
+	Iterations   int      `json:"iterations"`
+	IterEnd      []uint64 `json:"iter_end,omitempty"`
+
+	IPC        float64    `json:"ipc"`
+	L2MPKI     float64    `json:"l2_mpki"`
+	Accuracy   float64    `json:"accuracy"`
+	Timeliness Timeliness `json:"timeliness"`
+
+	CoreStats []cpu.Stats `json:"core_stats,omitempty"`
+	L1        cache.Stats `json:"l1"`
+	L2        cache.Stats `json:"l2"`
+	LLC       cache.Stats `json:"llc"`
+	DRAM      dram.Stats  `json:"dram"`
+	RnR       rnr.Stats   `json:"rnr"`
+
+	InputBytes uint64  `json:"input_bytes"`
+	Check      float64 `json:"check"`
+}
+
+// Export builds the JSON view of the result.
+func (r *Result) Export() ResultJSON {
+	return ResultJSON{
+		Config:       r.ConfigName,
+		Prefetcher:   string(r.Prefetcher),
+		App:          r.App,
+		Input:        r.Input,
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+		Iterations:   r.Iterations,
+		IterEnd:      r.IterEnd,
+		IPC:          r.IPC(),
+		L2MPKI:       r.L2MPKI(),
+		Accuracy:     r.Accuracy(),
+		Timeliness:   r.TimelinessBreakdown(),
+		CoreStats:    r.CoreStats,
+		L1:           r.L1,
+		L2:           r.L2,
+		LLC:          r.LLC,
+		DRAM:         r.DRAM,
+		RnR:          r.RnR,
+		InputBytes:   r.InputBytes,
+		Check:        r.Check,
+	}
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
 }
 
 // String summarises the run.

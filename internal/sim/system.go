@@ -10,6 +10,7 @@ import (
 	"rnrsim/internal/mem"
 	"rnrsim/internal/prefetch"
 	"rnrsim/internal/rnr"
+	"rnrsim/internal/telemetry"
 	"rnrsim/internal/trace"
 )
 
@@ -37,6 +38,12 @@ type System struct {
 	barrier   *barrier
 	iterEnd   []uint64
 	iterSnaps []cache.Stats // cumulative L2 stats at each iteration end
+
+	// Telemetry (nil = disabled; the Tick fast path is one pointer
+	// compare). See internal/telemetry and registerTelemetry.
+	tel         *telemetry.Recorder
+	sampleEvery uint64
+	lastIterEnd uint64
 }
 
 // barrier implements the SPMD iteration barrier of §VI: workers wait at
@@ -89,6 +96,9 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	s := &System{cfg: cfg, app: app, mc: dram.New(cfg.DRAM)}
 	s.barrier = newBarrier(cfg.Cores)
 	s.ctx = newCtxSwitch(cfg.CtxSwitch)
+	s.tel = cfg.Telemetry
+	s.sampleEvery = cfg.Telemetry.SampleInterval()
+	s.mc.Tel = s.tel
 
 	// Shared LLC (real or ideal) on top of DRAM.
 	var llcBackend mem.Backend
@@ -125,6 +135,7 @@ func New(cfg Config, app *apps.App) (*System, error) {
 		s.wirePrefetcher(c)
 		s.wireCore(c)
 	}
+	s.registerTelemetry()
 	return s, nil
 }
 
@@ -247,6 +258,12 @@ func (s *System) wireCore(c int) {
 			snap.Add(s.l2s[c].Stats)
 		}
 		s.iterSnaps[iter] = snap
+		if s.tel != nil {
+			// One span per iteration on the "iterations" track, ending
+			// exactly at Result.IterEnd[iter].
+			s.tel.Span("iterations", fmt.Sprintf("iter %d", iter), s.lastIterEnd, s.cycle)
+			s.lastIterEnd = s.cycle
+		}
 	}
 }
 
@@ -305,6 +322,9 @@ func (s *System) Tick() {
 	}
 	s.mc.Tick(now)
 	s.barrier.maybeOpen()
+	if s.tel != nil && now%s.sampleEvery == 0 {
+		s.tel.Sample(now)
+	}
 }
 
 // Done reports whether every core has drained and the memory system is
@@ -347,6 +367,9 @@ func (s *System) RunAll() (*Result, error) {
 				s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
 		}
 		s.Tick()
+	}
+	if s.tel != nil && s.cycle%s.sampleEvery != 0 {
+		s.tel.Sample(s.cycle) // capture the final, post-drain state
 	}
 	return s.collect(), nil
 }

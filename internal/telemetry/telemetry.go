@@ -1,0 +1,187 @@
+// Package telemetry is the simulator's observability layer: a
+// probe/counter registry, a cycle-sampled time-series collector and a
+// structured event tracer, all designed around one invariant: **a nil
+// Recorder costs nothing**. Every method on *Recorder, *Registry,
+// *Counter and *Gauge is nil-safe, so instrumented components keep a
+// possibly-nil pointer and call unconditionally; the disabled fast path
+// is a single pointer compare with zero allocations (enforced by
+// testing.AllocsPerRun in the package tests).
+//
+// Three collection styles cover the simulator's needs:
+//
+//   - Counters and gauges: atomic, cheap enough for warm paths, registered
+//     by name and snapshotted into every sample row.
+//   - Probes: pull-style gauges (func(cycle) float64) polled only at
+//     sample time, so hot loops stay untouched — occupancies, rates and
+//     RnR replay-cursor geometry are read from component state when the
+//     sampler fires, not maintained per event.
+//   - Spans and instants: trace events exported as Chrome trace-event
+//     JSON, loadable in Perfetto or chrome://tracing.
+//
+// Series are exported as JSONL (one object per sample row), traces as a
+// single JSON object with a traceEvents array.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is an atomic monotonic counter. The zero value is ready to use;
+// a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value float gauge. The zero value is ready; a
+// nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Load returns the last stored value (0 on nil).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+// Probe is a pull-style gauge, polled once per sample with the current
+// cycle so rate probes can compute deltas.
+type Probe func(cycle uint64) float64
+
+// Registry holds named counters, gauges and probes. All methods are
+// nil-safe: registering into a nil registry is a no-op that returns nil
+// instruments (which are themselves no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	probes   []namedProbe
+}
+
+type namedProbe struct {
+	name string
+	fn   Probe
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry for instruments that have no
+// natural owner (e.g. sim.accuracy_clamped). It is always non-nil.
+var Default = NewRegistry()
+
+// Counter returns (registering on first use) the named counter, or nil
+// when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil when
+// the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Probe registers a pull-style gauge under name. Registering the same
+// name twice keeps both (the later shadows the earlier in sample rows).
+// No-op on a nil registry.
+func (r *Registry) Probe(name string, fn Probe) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes = append(r.probes, namedProbe{name, fn})
+}
+
+// columns returns the sample-row schema: probes in registration order,
+// then gauges and counters sorted by name (map iteration is not stable).
+func (r *Registry) columns() (names []string, read []func(cycle uint64) float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.probes {
+		p := p
+		names = append(names, p.name)
+		read = append(read, p.fn)
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		g := r.gauges[n]
+		names = append(names, n)
+		read = append(read, func(uint64) float64 { return g.Load() })
+	}
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, n := range cnames {
+		c := r.counters[n]
+		names = append(names, n)
+		read = append(read, func(uint64) float64 { return float64(c.Load()) })
+	}
+	return names, read
+}
