@@ -5,11 +5,16 @@
 // Usage:
 //
 //	experiments [-scale test|bench|large] [-only fig6,fig8] [-md out.md]
+//	experiments -j 8                  # prewarm runs over 8 workers
 //	experiments -only fig6 -json results.json
 //	experiments -only fig10 -metrics series.jsonl -trace-out trace.json
 //
 // Expect the full bench-scale suite to take tens of minutes on a laptop:
-// it simulates every workload x input x prefetcher combination.
+// it simulates every workload x input x prefetcher combination. -j N
+// plans the selected experiments' runs up front and executes them over
+// N workers before the (serial, all-cache-hit) table assembly; the
+// printed tables are byte-identical to -j 1 because the plan only
+// changes when runs happen, never which results feed which cells.
 //
 // -json writes every simulated run's counters and derived metrics as a
 // machine-readable array next to the text tables. -metrics/-trace-out
@@ -24,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"rnrsim/internal/apps"
@@ -44,6 +51,8 @@ func main() {
 		"cycles between telemetry samples")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
+		"simulations run in parallel (1 = fully serial, identical to the pre-planner path)")
 	flag.Parse()
 
 	stopProf, err := telemetry.StartCPUProfile(*cpuprofile)
@@ -68,9 +77,31 @@ func main() {
 
 	suite := bench.NewSuite(sc)
 	suite.ComposeIters = *iters
+	suite.Parallelism = *jobs
 	start := time.Now()
+
+	// Progress is invoked from worker goroutines once -j > 1; serialize
+	// the writes and count completions against the planned total so the
+	// interleaved output stays legible ("[ 12/57] ... 1.3s").
+	var (
+		progMu    sync.Mutex
+		runsDone  int
+		runsTotal int // set once the plan is known; grows if exceeded
+	)
 	suite.Progress = func(key string) {
+		progMu.Lock()
 		fmt.Fprintf(os.Stderr, "[%7.1fs] simulating %s\n", time.Since(start).Seconds(), key)
+		progMu.Unlock()
+	}
+	suite.OnRunDone = func(key string, elapsed time.Duration) {
+		progMu.Lock()
+		runsDone++
+		if runsDone > runsTotal {
+			runsTotal = runsDone
+		}
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] done %-45s %6.1fs\n",
+			runsDone, runsTotal, key, elapsed.Seconds())
+		progMu.Unlock()
 	}
 	if *metrics != "" || *traceOut != "" {
 		suite.Instrument = func(string) *telemetry.Recorder {
@@ -86,50 +117,39 @@ func main() {
 		}
 	}
 
-	runners := map[string]func() *bench.Table{
-		"fig1":            suite.Fig1,
-		"tableII":         suite.TableII,
-		"tableIII":        suite.TableIII,
-		"fig6":            suite.Fig6,
-		"fig7":            suite.Fig7,
-		"fig8":            suite.Fig8,
-		"fig9":            suite.Fig9,
-		"fig10":           suite.Fig10,
-		"fig11":           suite.Fig11,
-		"fig12":           suite.Fig12,
-		"fig13":           suite.Fig13,
-		"fig14":           suite.Fig14,
-		"tableIV":         suite.TableIV,
-		"record-overhead": suite.RecordOverhead,
-		"hw-overhead":     suite.HardwareOverhead,
-		"ctx-switch":      suite.CtxSwitch,
-		"core-scaling":    suite.CoreScaling,
-		"design-choices":  suite.DesignChoices,
-	}
-	order := []string{
-		"tableII", "tableIII", "fig1", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "tableIV",
-		"record-overhead", "hw-overhead", "ctx-switch", "core-scaling",
-		"design-choices",
-	}
-
-	selected := order
+	selected := bench.ExperimentIDs
 	if *only != "" {
 		selected = nil
 		for _, id := range strings.Split(*only, ",") {
 			id = strings.TrimSpace(id)
-			if _, ok := runners[id]; !ok {
+			if _, ok := suite.Runner(id); !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %s)\n",
-					id, strings.Join(order, ", "))
+					id, strings.Join(bench.ExperimentIDs, ", "))
 				os.Exit(2)
 			}
 			selected = append(selected, id)
 		}
 	}
 
+	// With -j > 1, enumerate the selected experiments' runs up front and
+	// execute them over the worker pool; the serial table assembly below
+	// is then entirely memoisation hits. With -j 1 the plan is only used
+	// for the progress denominator and the runs happen lazily, exactly as
+	// the serial path always did.
+	plan := suite.Plan(selected...)
+	progMu.Lock()
+	runsTotal = len(plan)
+	progMu.Unlock()
+	if *jobs > 1 && len(plan) > 0 {
+		fmt.Fprintf(os.Stderr, "planned %d runs for %d experiment(s), prewarming over %d workers\n",
+			len(plan), len(selected), *jobs)
+		suite.Prewarm(plan)
+	}
+
 	var tables []*bench.Table
 	for _, id := range selected {
-		t := runners[id]()
+		run, _ := suite.Runner(id)
+		t := run()
 		tables = append(tables, t)
 		fmt.Println(t.Format())
 	}

@@ -6,6 +6,13 @@
 //
 //	rnrsim -workload pagerank -input urand -prefetchers rnr,nextline
 //	rnrsim -workload spcg -input bbmat -scale test -window 64
+//	rnrsim -prefetchers rnr,bingo,misb,droplet -j 4   # simulate 4-wide
+//
+// With -j > 1 the selected prefetchers simulate concurrently over a
+// bounded worker pool; rows still print in the order given on the
+// command line (each simulation is independent and deterministic, so
+// the output is identical to a serial run). -j 1 streams rows as they
+// finish, exactly as before.
 //
 // Observability (see DESIGN.md "Observability"):
 //
@@ -25,7 +32,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/rnr"
@@ -48,6 +57,8 @@ func main() {
 		"cycles between telemetry samples")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
+		"prefetcher simulations run in parallel (1 = stream rows as they finish)")
 	flag.Parse()
 
 	stopProf, err := telemetry.StartCPUProfile(*cpuprofile)
@@ -117,17 +128,34 @@ func main() {
 		selected = append(selected, pf)
 	}
 	multi := len(selected) > 1
-	for _, pf := range selected {
-		cfg := mk(pf)
+	type outcome struct {
+		res *sim.Result
+		rec *telemetry.Recorder
+		err error
+	}
+	results := make([]outcome, len(selected))
+
+	// simulate runs the i-th prefetcher; each run gets its own Config and
+	// Recorder, and the shared App is read-only, so runs are independent.
+	simulate := func(i int) {
+		cfg := mk(selected[i])
 		var rec *telemetry.Recorder
 		if *metrics != "" || *traceOut != "" {
 			rec = telemetry.New(telemetry.Config{SampleInterval: *sampleInt})
 			cfg.Telemetry = rec
 		}
 		r, err := sim.Run(cfg, app)
-		if err != nil {
-			fatal("%s: %v", pf, err)
+		results[i] = outcome{res: r, rec: rec, err: err}
+	}
+
+	// report prints the i-th row (and writes its telemetry files) in
+	// command-line order, so -j N output is identical to -j 1.
+	report := func(i int) {
+		pf, o := selected[i], results[i]
+		if o.err != nil {
+			fatal("%s: %v", pf, o.err)
 		}
+		r := o.res
 		fmt.Printf("%-14s %10d %8.3f %8.1f %8.2f %9.2f %9.2f\n",
 			pf, r.Cycles, r.IPC(), r.L2MPKI(),
 			r.ComposedSpeedup(base, *iters), r.Coverage(base), r.Accuracy())
@@ -140,13 +168,44 @@ func main() {
 				r.RecordOverheadPct(base),
 				tl.OnTime*100, tl.Early*100, tl.Late*100, tl.OutOfWindow*100)
 		}
-		if rec != nil {
-			if err := rec.WriteMetricsFile(perRunPath(*metrics, string(pf), multi)); err != nil {
+		if o.rec != nil {
+			if err := o.rec.WriteMetricsFile(perRunPath(*metrics, string(pf), multi)); err != nil {
 				fatal("%v", err)
 			}
-			if err := rec.WriteTraceFile(perRunPath(*traceOut, string(pf), multi)); err != nil {
+			if err := o.rec.WriteTraceFile(perRunPath(*traceOut, string(pf), multi)); err != nil {
 				fatal("%v", err)
 			}
+		}
+	}
+
+	if *jobs <= 1 || len(selected) <= 1 {
+		for i := range selected {
+			simulate(i)
+			report(i)
+		}
+	} else {
+		workers := *jobs
+		if workers > len(selected) {
+			workers = len(selected)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					simulate(i)
+				}
+			}()
+		}
+		for i := range selected {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for i := range selected {
+			report(i)
 		}
 	}
 

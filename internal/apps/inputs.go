@@ -22,9 +22,11 @@ const (
 	ScaleLarge
 )
 
-// GraphInputs returns the paper's four graph inputs (Table III) at the
-// given scale, in the paper's presentation order.
-func GraphInputs(s Scale) map[string]*graph.Graph {
+// GraphInput builds the single named graph input (Table III) at the
+// given scale. Building one input instead of the whole Table III map
+// matters once workload construction is parallel and memoised per
+// (workload, input): Build must not pay for three graphs it discards.
+func GraphInput(s Scale, name string) (*graph.Graph, bool) {
 	var n, deg int
 	switch s {
 	case ScaleTest:
@@ -34,74 +36,119 @@ func GraphInputs(s Scale) map[string]*graph.Graph {
 	default:
 		n, deg = 16000, 12
 	}
-	side := isqrt(n)
-	return map[string]*graph.Graph{
-		"urand":     graph.Uniform(n, deg, 1001),
-		"amazon":    graph.Community(n*3/4, deg-2, 64, 0.12, 1002),
-		"com-orkut": graph.PowerLaw(n, deg+8, 1003),
-		"roadUSA":   graph.Road(side*2, side, 1004),
+	switch name {
+	case "urand":
+		return graph.Uniform(n, deg, 1001), true
+	case "amazon":
+		return graph.Community(n*3/4, deg-2, 64, 0.12, 1002), true
+	case "com-orkut":
+		return graph.PowerLaw(n, deg+8, 1003), true
+	case "roadUSA":
+		side := isqrt(n)
+		return graph.Road(side*2, side, 1004), true
 	}
+	return nil, false
+}
+
+// GraphInputs returns the paper's four graph inputs (Table III) at the
+// given scale, in the paper's presentation order.
+func GraphInputs(s Scale) map[string]*graph.Graph {
+	out := make(map[string]*graph.Graph, len(GraphInputOrder))
+	for _, name := range GraphInputOrder {
+		g, _ := GraphInput(s, name)
+		out[name] = g
+	}
+	return out
 }
 
 // GraphInputOrder is the paper's column order for graph figures.
 var GraphInputOrder = []string{"urand", "amazon", "com-orkut", "roadUSA"}
 
-// MatrixInputs returns the paper's four spCG inputs (Table III). The
-// generator parameters are chosen so the SpMV gather through the column
-// indices spans far more than the (scaled) private caches, as the
-// full-size SuiteSparse matrices span far more than 256 KB — otherwise
-// the irregular access the paper targets never misses.
-func MatrixInputs(s Scale) map[string]*sparse.Matrix {
+// MatrixInput builds the single named spCG input (Table III) at the
+// given scale. The generator parameters are chosen so the SpMV gather
+// through the column indices spans far more than the (scaled) private
+// caches, as the full-size SuiteSparse matrices span far more than
+// 256 KB — otherwise the irregular access the paper targets never
+// misses. Like GraphInput, it builds only what is asked for, so a
+// parallel Suite memoising one (workload, input) pair pays for exactly
+// one matrix.
+func MatrixInput(s Scale, name string) (*sparse.Matrix, bool) {
 	switch s {
 	case ScaleTest:
-		return map[string]*sparse.Matrix{
-			"atmosmodj": sparse.Stencil3D(24, 10, 6), // z-plane 240 rows ~ 2 KB
-			"bbmat":     sparse.Banded(2500, 500, 0.006, 2001),
-			"nlpkkt80":  sparse.BlockStencil(16, 10, 4, 3),
-			"pdb1HYS":   sparse.ProteinBlocks(100, 12, 5, 2002),
+		switch name {
+		case "atmosmodj":
+			return sparse.Stencil3D(24, 10, 6), true // z-plane 240 rows ~ 2 KB
+		case "bbmat":
+			return sparse.Banded(2500, 500, 0.006, 2001), true
+		case "nlpkkt80":
+			return sparse.BlockStencil(16, 10, 4, 3), true
+		case "pdb1HYS":
+			return sparse.ProteinBlocks(100, 12, 5, 2002), true
 		}
 	case ScaleLarge:
-		return map[string]*sparse.Matrix{
-			"atmosmodj": sparse.Stencil3D(96, 72, 10),
-			"bbmat":     sparse.Banded(60000, 6000, 0.0012, 2001),
-			"nlpkkt80":  sparse.BlockStencil(48, 40, 6, 3),
-			"pdb1HYS":   sparse.ProteinBlocks(1200, 24, 8, 2002),
+		switch name {
+		case "atmosmodj":
+			return sparse.Stencil3D(96, 72, 10), true
+		case "bbmat":
+			return sparse.Banded(60000, 6000, 0.0012, 2001), true
+		case "nlpkkt80":
+			return sparse.BlockStencil(48, 40, 6, 3), true
+		case "pdb1HYS":
+			return sparse.ProteinBlocks(1200, 24, 8, 2002), true
 		}
 	default:
-		return map[string]*sparse.Matrix{
+		switch name {
+		case "atmosmodj":
 			// xy-plane 3072 rows = 24 KB > 16 KB L2.
-			"atmosmodj": sparse.Stencil3D(64, 48, 8),
+			return sparse.Stencil3D(64, 48, 8), true
+		case "bbmat":
 			// band half-width 2500 rows = 20 KB span, sparse fill.
-			"bbmat": sparse.Banded(20000, 2500, 0.0025, 2001),
+			return sparse.Banded(20000, 2500, 0.0025, 2001), true
+		case "nlpkkt80":
 			// block-coupled stencil, xy stride 1024 cells x 3 = 24 KB.
-			"nlpkkt80": sparse.BlockStencil(32, 32, 4, 3),
+			return sparse.BlockStencil(32, 32, 4, 3), true
+		case "pdb1HYS":
 			// dense residue blocks + long-range contacts over 80 KB.
-			"pdb1HYS": sparse.ProteinBlocks(500, 20, 8, 2002),
+			return sparse.ProteinBlocks(500, 20, 8, 2002), true
 		}
 	}
+	return nil, false
+}
+
+// MatrixInputs returns the paper's four spCG inputs (Table III) at the
+// given scale, in the paper's presentation order.
+func MatrixInputs(s Scale) map[string]*sparse.Matrix {
+	out := make(map[string]*sparse.Matrix, len(MatrixInputOrder))
+	for _, name := range MatrixInputOrder {
+		m, _ := MatrixInput(s, name)
+		out[name] = m
+	}
+	return out
 }
 
 // MatrixInputOrder is the paper's column order for spCG figures.
 var MatrixInputOrder = []string{"atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS"}
 
 // Build constructs the named workload ("pagerank", "hyperanf", "spcg") on
-// the named input at the given scale.
+// the named input at the given scale. It builds only the requested
+// input (via GraphInput/MatrixInput), so concurrent Builds memoised per
+// (workload, input) never pay for inputs they discard.
 func Build(workload, input string, s Scale) (*App, error) {
 	switch workload {
 	case "pagerank":
-		g, ok := GraphInputs(s)[input]
+		g, ok := GraphInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown graph input %q", input)
 		}
 		return PageRank(g, input, DefaultPageRank()), nil
 	case "hyperanf":
-		g, ok := GraphInputs(s)[input]
+		g, ok := GraphInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown graph input %q", input)
 		}
 		return HyperANF(g, input, DefaultHyperANF()), nil
 	case "spcg":
-		m, ok := MatrixInputs(s)[input]
+		m, ok := MatrixInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown matrix input %q", input)
 		}

@@ -17,9 +17,7 @@ func (s *Suite) Fig1() *Table {
 		Header: []string{"prefetcher", "coverage", "accuracy"},
 	}
 	base := s.Baseline("pagerank", "amazon")
-	for _, pf := range []sim.PrefetcherKind{
-		sim.PFNextLine, sim.PFBingo, sim.PFMISB, sim.PFSteMS, sim.PFDroplet, sim.PFRnR,
-	} {
+	for _, pf := range fig1Prefetchers {
 		r := s.Run("pagerank", "amazon", pf, Variant{})
 		t.AddRow(string(pf), pct(r.Coverage(base)*100), pct(r.Accuracy()*100))
 	}
@@ -223,7 +221,7 @@ func (s *Suite) Fig10() *Table {
 		}
 	}
 	t.Header = append(t.Header, "GM")
-	for _, ctl := range []rnr.TimingControl{rnr.NoControl, rnr.WindowControl, rnr.WindowPaceControl} {
+	for _, ctl := range timingControls {
 		row := []string{ctl.String()}
 		var gm []float64
 		for _, c := range cols {
@@ -251,7 +249,7 @@ func (s *Suite) Fig11() *Table {
 	}
 	for _, w := range apps.Workloads {
 		for _, in := range apps.InputsFor(w) {
-			for _, ctl := range []rnr.TimingControl{rnr.NoControl, rnr.WindowControl, rnr.WindowPaceControl} {
+			for _, ctl := range timingControls {
 				r := s.RnRWithControl(w, in, ctl)
 				tl := r.TimelinessBreakdown()
 				t.AddRow(w+"/"+in, ctl.String(),
@@ -304,6 +302,21 @@ func (s *Suite) Fig13() *Table {
 	return t
 }
 
+// fig14Picks and fig14Windows define the Fig. 14 sweep grid, shared with
+// the run planner.
+var (
+	fig14Picks   = [][2]string{{"pagerank", "amazon"}, {"hyperanf", "urand"}, {"spcg", "bbmat"}}
+	fig14Windows = []uint64{16, 64, 128, 256, 512, 1024, 2048}
+)
+
+// WindowVariant sets the RnR window size in lines (Fig. 14 sweep).
+func WindowVariant(win uint64) Variant {
+	return Variant{
+		Tag:    fmt.Sprintf("win%d", win),
+		Mutate: func(c *sim.Config) { c.RnRWindow = win },
+	}
+}
+
 // Fig14 reproduces Figure 14: speedup and storage vs window size.
 func (s *Suite) Fig14() *Table {
 	t := &Table{
@@ -313,15 +326,11 @@ func (s *Suite) Fig14() *Table {
 	}
 	// Representative subset to keep the sweep tractable: one input per
 	// workload, as the paper's figure reports averages.
-	picks := [][2]string{{"pagerank", "amazon"}, {"hyperanf", "urand"}, {"spcg", "bbmat"}}
-	for _, win := range []uint64{16, 64, 128, 256, 512, 1024, 2048} {
+	for _, win := range fig14Windows {
 		var sps, ovs []float64
-		for _, p := range picks {
+		for _, p := range fig14Picks {
 			base := s.Baseline(p[0], p[1])
-			r := s.Run(p[0], p[1], sim.PFRnR, Variant{
-				Tag:    fmt.Sprintf("win%d", win),
-				Mutate: func(c *sim.Config) { c.RnRWindow = win },
-			})
+			r := s.Run(p[0], p[1], sim.PFRnR, WindowVariant(win))
 			sps = append(sps, r.ComposedSpeedup(base, s.ComposeIters))
 			ovs = append(ovs, r.StorageOverheadPct())
 		}

@@ -18,19 +18,28 @@ type RunExport struct {
 }
 
 // Exports returns every result the suite has simulated so far, sorted by
-// key, as JSON-ready records.
+// key, as JSON-ready records. In-flight runs are waited for; failed runs
+// are skipped.
 func (s *Suite) Exports() []RunExport {
 	s.mu.Lock()
 	keys := make([]string, 0, len(s.results))
+	calls := make([]*runCall, 0, len(s.results))
 	for k := range s.results {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]RunExport, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, RunExport{Key: k, ResultJSON: s.results[k].Export()})
+		calls = append(calls, s.results[k])
 	}
 	s.mu.Unlock()
+	out := make([]RunExport, 0, len(keys))
+	for i, c := range calls {
+		<-c.done
+		if c.err != nil || c.res == nil {
+			continue
+		}
+		out = append(out, RunExport{Key: keys[i], ResultJSON: c.res.Export()})
+	}
 	return out
 }
 

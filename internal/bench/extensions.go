@@ -13,6 +13,17 @@ import (
 // claims the paper makes in prose: §IV-C (context-switch resilience) and
 // §V-E (multicore scalability).
 
+// ctxSwitchPrefetchers is the ctx-switch line-up, shared with the planner.
+var ctxSwitchPrefetchers = []sim.PrefetcherKind{
+	sim.PFGHB, sim.PFMISB, sim.PFBingo, sim.PFRnR,
+}
+
+// CtxSwitchVariant enables the §IV-C periodic-descheduling injection.
+func CtxSwitchVariant() Variant {
+	sw := sim.CtxSwitchConfig{Period: 150_000, Duration: 10_000}
+	return Variant{Tag: "ctxsw", Mutate: func(c *sim.Config) { c.CtxSwitch = sw }}
+}
+
 // CtxSwitch measures §IV-C: under periodic OS context switches, RnR
 // resumes from its in-memory metadata while conventional prefetchers
 // retrain from scratch.
@@ -24,15 +35,13 @@ func (s *Suite) CtxSwitch() *Table {
 			"accuracy kept"},
 	}
 	const w, in = "pagerank", "urand"
-	sw := sim.CtxSwitchConfig{Period: 150_000, Duration: 10_000}
-	mutate := func(c *sim.Config) { c.CtxSwitch = sw }
 
 	base := s.Baseline(w, in)
-	baseSw := s.Run(w, in, sim.PFNone, Variant{Tag: "ctxsw", Mutate: mutate})
+	baseSw := s.Run(w, in, sim.PFNone, CtxSwitchVariant())
 
-	for _, pf := range []sim.PrefetcherKind{sim.PFGHB, sim.PFMISB, sim.PFBingo, sim.PFRnR} {
+	for _, pf := range ctxSwitchPrefetchers {
 		plain := s.Run(w, in, pf, Variant{})
-		switched := s.Run(w, in, pf, Variant{Tag: "ctxsw", Mutate: mutate})
+		switched := s.Run(w, in, pf, CtxSwitchVariant())
 		t.AddRow(string(pf),
 			f2(plain.ComposedSpeedup(base, s.ComposeIters)),
 			f2(switched.ComposedSpeedup(baseSw, s.ComposeIters)),
@@ -91,6 +100,22 @@ func (s *Suite) scalingGraph() *graph.Graph {
 	return s.scaleG
 }
 
+// RecordAllVariant enables the naive every-access recording §III rejects.
+func RecordAllVariant() Variant {
+	return Variant{
+		Tag:    "recordall",
+		Mutate: func(c *sim.Config) { c.RnRRecordAll = true },
+	}
+}
+
+// LLCDestVariant redirects replay prefetches to the shared LLC (§III).
+func LLCDestVariant() Variant {
+	return Variant{
+		Tag:    "llcdest",
+		Mutate: func(c *sim.Config) { c.RnRPrefetchToLLC = true },
+	}
+}
+
 // DesignChoices measures the §III alternatives the paper rejects: naive
 // every-access recording (vs L2-miss recording) and prefetching into the
 // shared LLC (vs the private L2).
@@ -111,14 +136,8 @@ func (s *Suite) DesignChoices() *Table {
 			pct(r.StorageOverheadPct()))
 	}
 	row("L2-miss record, L2 dest (paper)", s.Run(w, in, sim.PFRnR, Variant{}))
-	row("record every access", s.Run(w, in, sim.PFRnR, Variant{
-		Tag:    "recordall",
-		Mutate: func(c *sim.Config) { c.RnRRecordAll = true },
-	}))
-	row("prefetch into LLC", s.Run(w, in, sim.PFRnR, Variant{
-		Tag:    "llcdest",
-		Mutate: func(c *sim.Config) { c.RnRPrefetchToLLC = true },
-	}))
+	row("record every access", s.Run(w, in, sim.PFRnR, RecordAllVariant()))
+	row("prefetch into LLC", s.Run(w, in, sim.PFRnR, LLCDestVariant()))
 	t.Note("paper §III: recording every access wastes storage and bandwidth " +
 		"(locality-filtered misses suffice); the L2 destination avoids the " +
 		"latency left on the table by an LLC destination")

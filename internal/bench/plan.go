@@ -1,0 +1,316 @@
+// Run planning: each experiment declares, ahead of execution, the exact
+// set of (workload, input, prefetcher, variant) simulations its table
+// needs. Prewarm fans a plan out over a bounded worker pool (one
+// goroutine per in-flight simulation, at most Suite.Parallelism); the
+// singleflight memoisation in Suite.Run guarantees shared keys (the
+// baselines feed most figures) are simulated exactly once. Table
+// assembly afterwards is serial and entirely cache hits, so the rendered
+// tables are byte-identical to a serial run — the plan only changes
+// *when* runs happen, never which results feed which cells.
+//
+// The planner-completeness tests in plan_test.go assert, for every
+// experiment id, that the planned key set equals the keys the runner
+// actually requests during assembly, so the two enumerations cannot
+// drift apart silently.
+package bench
+
+import (
+	"sort"
+	"sync"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/sim"
+)
+
+// PlannedRun is one simulation an experiment needs.
+type PlannedRun struct {
+	Workload, Input string
+	PF              sim.PrefetcherKind
+	Variant         Variant
+}
+
+// Key returns the memoisation key the run resolves to.
+func (p PlannedRun) Key() string {
+	return runKey(p.Workload, p.Input, p.PF, p.Variant.Tag)
+}
+
+// ExperimentIDs lists every experiment in presentation order (the order
+// cmd/experiments emits them in).
+var ExperimentIDs = []string{
+	"tableII", "tableIII", "fig1", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "tableIV",
+	"record-overhead", "hw-overhead", "ctx-switch", "core-scaling",
+	"design-choices",
+}
+
+// Runner returns the table runner for an experiment id.
+func (s *Suite) Runner(id string) (func() *Table, bool) {
+	switch id {
+	case "fig1":
+		return s.Fig1, true
+	case "tableII":
+		return s.TableII, true
+	case "tableIII":
+		return s.TableIII, true
+	case "fig6":
+		return s.Fig6, true
+	case "fig7":
+		return s.Fig7, true
+	case "fig8":
+		return s.Fig8, true
+	case "fig9":
+		return s.Fig9, true
+	case "fig10":
+		return s.Fig10, true
+	case "fig11":
+		return s.Fig11, true
+	case "fig12":
+		return s.Fig12, true
+	case "fig13":
+		return s.Fig13, true
+	case "fig14":
+		return s.Fig14, true
+	case "tableIV":
+		return s.TableIV, true
+	case "record-overhead":
+		return s.RecordOverhead, true
+	case "hw-overhead":
+		return s.HardwareOverhead, true
+	case "ctx-switch":
+		return s.CtxSwitch, true
+	case "core-scaling":
+		return s.CoreScaling, true
+	case "design-choices":
+		return s.DesignChoices, true
+	}
+	return nil, false
+}
+
+// Plan enumerates the runs the given experiments need, deduplicated by
+// key, in deterministic first-seen order. Unknown ids plan nothing
+// (Runner reports them; the CLI validates before planning).
+func (s *Suite) Plan(ids ...string) []PlannedRun {
+	seen := make(map[string]struct{})
+	var out []PlannedRun
+	add := func(runs ...PlannedRun) {
+		for _, r := range runs {
+			k := r.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	for _, id := range ids {
+		add(s.planOne(id)...)
+	}
+	return out
+}
+
+// eachInput invokes f over the full workload × input grid in
+// presentation order.
+func eachInput(f func(w, in string)) {
+	for _, w := range apps.Workloads {
+		for _, in := range apps.InputsFor(w) {
+			f(w, in)
+		}
+	}
+}
+
+// planOne enumerates one experiment's runs, mirroring its runner. The
+// static tables (tableII/III/IV, hw-overhead) simulate nothing, and
+// core-scaling builds bespoke per-core-count systems outside the
+// memoised key space, so they plan empty.
+func (s *Suite) planOne(id string) []PlannedRun {
+	var p []PlannedRun
+	base := func(w, in string) {
+		p = append(p, PlannedRun{w, in, sim.PFNone, Variant{}})
+	}
+	switch id {
+	case "fig1":
+		base("pagerank", "amazon")
+		for _, pf := range fig1Prefetchers {
+			p = append(p, PlannedRun{"pagerank", "amazon", pf, Variant{}})
+		}
+	case "fig6":
+		eachInput(func(w, in string) {
+			base(w, in)
+			for _, pf := range comparisonSet(w) {
+				p = append(p, PlannedRun{w, in, pf, Variant{}})
+			}
+			p = append(p, PlannedRun{w, in, sim.PFNone, IdealVariant()})
+		})
+	case "fig7":
+		eachInput(func(w, in string) {
+			base(w, in)
+			p = append(p, PlannedRun{w, in, sim.PFRnR, Variant{}})
+			p = append(p, PlannedRun{w, in, sim.PFRnRCombined, Variant{}})
+		})
+	case "fig8", "fig9", "fig12":
+		eachInput(func(w, in string) {
+			base(w, in)
+			for _, pf := range comparisonSet(w) {
+				p = append(p, PlannedRun{w, in, pf, Variant{}})
+			}
+		})
+	case "fig10":
+		eachInput(func(w, in string) {
+			base(w, in)
+			for _, ctl := range timingControls {
+				p = append(p, PlannedRun{w, in, sim.PFRnR, ControlVariant(ctl)})
+			}
+		})
+	case "fig11":
+		eachInput(func(w, in string) {
+			for _, ctl := range timingControls {
+				p = append(p, PlannedRun{w, in, sim.PFRnR, ControlVariant(ctl)})
+			}
+		})
+	case "fig13":
+		eachInput(func(w, in string) {
+			p = append(p, PlannedRun{w, in, sim.PFRnR, Variant{}})
+		})
+	case "fig14":
+		for _, win := range fig14Windows {
+			for _, pick := range fig14Picks {
+				p = append(p, PlannedRun{pick[0], pick[1], sim.PFNone, Variant{}})
+				p = append(p, PlannedRun{pick[0], pick[1], sim.PFRnR, WindowVariant(win)})
+			}
+		}
+	case "record-overhead":
+		eachInput(func(w, in string) {
+			base(w, in)
+			p = append(p, PlannedRun{w, in, sim.PFRnR, Variant{}})
+		})
+	case "ctx-switch":
+		base("pagerank", "urand")
+		p = append(p, PlannedRun{"pagerank", "urand", sim.PFNone, CtxSwitchVariant()})
+		for _, pf := range ctxSwitchPrefetchers {
+			p = append(p, PlannedRun{"pagerank", "urand", pf, Variant{}})
+			p = append(p, PlannedRun{"pagerank", "urand", pf, CtxSwitchVariant()})
+		}
+	case "design-choices":
+		base("pagerank", "urand")
+		p = append(p, PlannedRun{"pagerank", "urand", sim.PFRnR, Variant{}})
+		p = append(p, PlannedRun{"pagerank", "urand", sim.PFRnR, RecordAllVariant()})
+		p = append(p, PlannedRun{"pagerank", "urand", sim.PFRnR, LLCDestVariant()})
+	}
+	return p
+}
+
+// fig1Prefetchers is the Fig. 1 line-up, shared between runner and plan.
+var fig1Prefetchers = []sim.PrefetcherKind{
+	sim.PFNextLine, sim.PFBingo, sim.PFMISB, sim.PFSteMS, sim.PFDroplet, sim.PFRnR,
+}
+
+// timingControls is the Fig. 10/11 control sweep, shared with the plan.
+var timingControls = []rnr.TimingControl{
+	rnr.NoControl, rnr.WindowControl, rnr.WindowPaceControl,
+}
+
+// Prewarm executes every planned run over a bounded worker pool
+// (Suite.Parallelism wide). It first builds the distinct workloads the
+// plan touches — workload construction is itself expensive at
+// bench/large scale — then fans out the simulations. Returns the number
+// of distinct keys prewarmed. Errors surface as panics exactly as they
+// do on the serial path.
+func (s *Suite) Prewarm(plan []PlannedRun) int {
+	if len(plan) == 0 {
+		return 0
+	}
+	workers := s.parallelism()
+
+	// Phase 1: distinct apps in parallel, so the run fan-out below does
+	// not serialize on a thundering herd of workers all waiting for the
+	// first app build.
+	type wi struct{ w, in string }
+	appSet := make(map[wi]struct{})
+	var appsNeeded []wi
+	for _, r := range plan {
+		k := wi{r.Workload, r.Input}
+		if _, ok := appSet[k]; !ok {
+			appSet[k] = struct{}{}
+			appsNeeded = append(appsNeeded, k)
+		}
+	}
+	runPool(workers, len(appsNeeded), func(i int) {
+		s.App(appsNeeded[i].w, appsNeeded[i].in)
+	})
+
+	// Phase 2: the simulations. Duplicate keys were removed by Plan;
+	// singleflight in Run protects against callers racing Prewarm.
+	runPool(workers, len(plan), func(i int) {
+		r := plan[i]
+		s.Run(r.Workload, r.Input, r.PF, r.Variant)
+	})
+	return len(plan)
+}
+
+// PrewarmIDs plans and prewarms the given experiments; the convenience
+// form used by tests and callers that do not need the plan itself.
+func (s *Suite) PrewarmIDs(ids ...string) int {
+	return s.Prewarm(s.Plan(ids...))
+}
+
+// runPool invokes f(0..n-1) over at most `workers` goroutines. Panics in
+// workers are captured and re-raised on the caller's goroutine after the
+// pool drains, preserving the serial path's panic semantics.
+func runPool(workers, n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		panMu sync.Mutex
+		pans  []any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panMu.Lock()
+							pans = append(pans, r)
+							panMu.Unlock()
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if len(pans) > 0 {
+		panic(pans[0])
+	}
+}
+
+// PlanKeys returns the sorted distinct key set of a plan (test helper
+// and progress accounting).
+func PlanKeys(plan []PlannedRun) []string {
+	keys := make([]string, 0, len(plan))
+	for _, r := range plan {
+		keys = append(keys, r.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/graph"
@@ -14,6 +16,15 @@ import (
 // Suite memoises workloads and simulation results so the per-figure
 // runners can share runs (the baseline run, for example, feeds Fig. 6, 7,
 // 8, 9 and 12).
+//
+// Suite is safe for concurrent callers. Both App and Run use singleflight
+// memoisation: the first caller of a key computes it while later callers
+// block on the same in-flight entry, so an expensive run is simulated
+// exactly once no matter how many goroutines ask for it, in any order.
+// Combined with the run planner (plan.go) this is what makes the parallel
+// experiment engine deterministic: Prewarm fans the planned keys out over
+// a bounded worker pool, and the subsequent serial table assembly is all
+// cache hits, producing byte-identical output to a fully serial run.
 type Suite struct {
 	Scale  apps.Scale
 	Config sim.Config
@@ -21,13 +32,27 @@ type Suite struct {
 	// ("we use 100 iterations for all tested applications", §VII-A.1).
 	ComposeIters int
 
-	mu      sync.Mutex
-	apps    map[string]*apps.App
-	results map[string]*sim.Result
-	scaleG  *graph.Graph // memoised core-scaling input
+	// Parallelism bounds the worker pool used by Prewarm (and the
+	// concurrent sections of experiment runners). 0 means
+	// runtime.GOMAXPROCS(0). It does not limit direct App/Run callers —
+	// they are only bounded by their own concurrency.
+	Parallelism int
+
+	mu        sync.Mutex
+	apps      map[string]*appCall
+	results   map[string]*runCall
+	requested map[string]struct{} // every Run key ever asked for (hit or miss)
+	scaleG    *graph.Graph        // memoised core-scaling input
 
 	// Progress, if set, is called before each fresh simulation run.
+	// It may be called from multiple goroutines concurrently; the
+	// callback must serialize its own output.
 	Progress func(key string)
+
+	// OnRunDone, if set, is called after each fresh simulation run
+	// completes, with the wall-clock time the simulation took. Like
+	// Progress it may be invoked concurrently.
+	OnRunDone func(key string, elapsed time.Duration)
 
 	// Instrument, if set, is asked for a telemetry recorder per fresh
 	// run (return nil to leave that run uninstrumented). After the run
@@ -38,6 +63,21 @@ type Suite struct {
 	OnInstrumented func(key string, rec *telemetry.Recorder)
 }
 
+// appCall is one singleflight workload build: the creator closes done
+// once app/err are set; everyone else blocks on done.
+type appCall struct {
+	done chan struct{}
+	app  *apps.App
+	err  error
+}
+
+// runCall is one singleflight simulation.
+type runCall struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
 // NewSuite builds a suite at the given scale on the scaled Table II
 // machine.
 func NewSuite(scale apps.Scale) *Suite {
@@ -45,25 +85,44 @@ func NewSuite(scale apps.Scale) *Suite {
 		Scale:        scale,
 		Config:       sim.Scaled(),
 		ComposeIters: 100,
-		apps:         make(map[string]*apps.App),
-		results:      make(map[string]*sim.Result),
+		apps:         make(map[string]*appCall),
+		results:      make(map[string]*runCall),
+		requested:    make(map[string]struct{}),
 	}
 }
 
-// App returns (building once) the workload on the input.
+// parallelism resolves the effective worker-pool width.
+func (s *Suite) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// App returns (building once) the workload on the input. Concurrent
+// callers of the same key share one build; different keys build in
+// parallel.
 func (s *Suite) App(workload, input string) *apps.App {
 	key := workload + "/" + input
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a, ok := s.apps[key]; ok {
-		return a
+	c, ok := s.apps[key]
+	if !ok {
+		c = &appCall{done: make(chan struct{})}
+		s.apps[key] = c
 	}
-	a, err := apps.Build(workload, input, s.Scale)
-	if err != nil {
-		panic(err) // experiment-definition bug, not a runtime condition
+	s.mu.Unlock()
+	if ok {
+		<-c.done
+	} else {
+		func() {
+			defer close(c.done)
+			c.app, c.err = apps.Build(workload, input, s.Scale)
+		}()
 	}
-	s.apps[key] = a
-	return a
+	if c.err != nil {
+		panic(c.err) // experiment-definition bug, not a runtime condition
+	}
+	return c.app
 }
 
 // Variant customises a run beyond the prefetcher kind.
@@ -72,16 +131,42 @@ type Variant struct {
 	Mutate func(*sim.Config)
 }
 
-// Run simulates (memoised) the workload/input under the prefetcher.
+// runKey is the canonical memoisation key format.
+func runKey(workload, input string, pf sim.PrefetcherKind, tag string) string {
+	return fmt.Sprintf("%s/%s/%s/%s", workload, input, pf, tag)
+}
+
+// Run simulates (memoised, singleflight) the workload/input under the
+// prefetcher. Exactly one fresh simulation happens per distinct key even
+// under concurrent callers; the losers of the insert race block until
+// the winner's result is ready.
 func (s *Suite) Run(workload, input string, pf sim.PrefetcherKind, v Variant) *sim.Result {
-	key := fmt.Sprintf("%s/%s/%s/%s", workload, input, pf, v.Tag)
+	key := runKey(workload, input, pf, v.Tag)
 	s.mu.Lock()
-	if r, ok := s.results[key]; ok {
-		s.mu.Unlock()
-		return r
+	s.requested[key] = struct{}{}
+	c, ok := s.results[key]
+	if !ok {
+		c = &runCall{done: make(chan struct{})}
+		s.results[key] = c
 	}
 	s.mu.Unlock()
 
+	if ok {
+		<-c.done
+	} else {
+		func() {
+			defer close(c.done) // never leave waiters hanging, even on panic
+			c.res, c.err = s.simulate(key, workload, input, pf, v)
+		}()
+	}
+	if c.err != nil {
+		panic(c.err)
+	}
+	return c.res
+}
+
+// simulate performs one fresh run (the singleflight winner's path).
+func (s *Suite) simulate(key, workload, input string, pf sim.PrefetcherKind, v Variant) (*sim.Result, error) {
 	app := s.App(workload, input)
 	cfg := s.Config
 	cfg.Prefetcher = pf
@@ -97,17 +182,32 @@ func (s *Suite) Run(workload, input string, pf sim.PrefetcherKind, v Variant) *s
 		rec = s.Instrument(key)
 		cfg.Telemetry = rec
 	}
+	start := time.Now()
 	r, err := sim.Run(cfg, app)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	if rec != nil && s.OnInstrumented != nil {
 		s.OnInstrumented(key, rec)
 	}
+	if s.OnRunDone != nil {
+		s.OnRunDone(key, time.Since(start))
+	}
+	return r, nil
+}
+
+// RequestedKeys returns a snapshot of every run key Run has been asked
+// for so far (memoised hits included). The planner-completeness tests
+// use it to verify that a plan covers exactly the keys table assembly
+// requests.
+func (s *Suite) RequestedKeys() map[string]struct{} {
 	s.mu.Lock()
-	s.results[key] = r
-	s.mu.Unlock()
-	return r
+	defer s.mu.Unlock()
+	out := make(map[string]struct{}, len(s.requested))
+	for k := range s.requested {
+		out[k] = struct{}{}
+	}
+	return out
 }
 
 // Baseline returns the no-prefetcher run.
@@ -115,20 +215,30 @@ func (s *Suite) Baseline(workload, input string) *sim.Result {
 	return s.Run(workload, input, sim.PFNone, Variant{})
 }
 
-// Ideal returns the infinite-LLC run.
-func (s *Suite) Ideal(workload, input string) *sim.Result {
-	return s.Run(workload, input, sim.PFNone, Variant{
+// IdealVariant is the infinite-LLC configuration of the Fig. 6 bound.
+func IdealVariant() Variant {
+	return Variant{
 		Tag:    "ideal",
 		Mutate: func(c *sim.Config) { c.IdealLLC = true },
-	})
+	}
+}
+
+// Ideal returns the infinite-LLC run.
+func (s *Suite) Ideal(workload, input string) *sim.Result {
+	return s.Run(workload, input, sim.PFNone, IdealVariant())
+}
+
+// ControlVariant selects an RnR replay timing control (Fig. 10/11).
+func ControlVariant(ctl rnr.TimingControl) Variant {
+	return Variant{
+		Tag:    "ctl-" + ctl.String(),
+		Mutate: func(c *sim.Config) { c.RnRControl = ctl },
+	}
 }
 
 // RnRWithControl returns an RnR run under the given timing control.
 func (s *Suite) RnRWithControl(workload, input string, ctl rnr.TimingControl) *sim.Result {
-	return s.Run(workload, input, sim.PFRnR, Variant{
-		Tag:    "ctl-" + ctl.String(),
-		Mutate: func(c *sim.Config) { c.RnRControl = ctl },
-	})
+	return s.Run(workload, input, sim.PFRnR, ControlVariant(ctl))
 }
 
 // comparisonSet is the Fig. 6-9 prefetcher line-up. DROPLET is skipped for

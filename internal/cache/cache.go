@@ -131,9 +131,9 @@ type Cache struct {
 	setMask  mem.Addr
 	lower    mem.Backend
 	clock    uint64
-	readQ    []queued
-	prefQ    []queued
-	writeQ   []queued
+	readQ    reqRing
+	prefQ    reqRing
+	writeQ   reqRing
 	mshrs    map[mem.Addr]*mshr
 	unsent   []*mshr // MSHRs whose child could not be enqueued below yet
 	Stats    Stats
@@ -207,17 +207,17 @@ func (c *Cache) MSHRFree() bool { return len(c.mshrs) < c.cfg.MSHRs }
 func (c *Cache) TryEnqueue(r *mem.Request) bool {
 	switch r.Type {
 	case mem.ReqWriteback:
-		if len(c.writeQ) >= c.cfg.WriteQ {
+		if c.writeQ.len() >= c.cfg.WriteQ {
 			return false
 		}
-		c.writeQ = append(c.writeQ, queued{r, c.clock + c.cfg.Latency})
+		c.writeQ.pushBack(queued{r, c.clock + c.cfg.Latency})
 	case mem.ReqPrefetch:
 		return c.TryPrefetch(r)
 	default:
-		if len(c.readQ) >= c.cfg.ReadQ {
+		if c.readQ.len() >= c.cfg.ReadQ {
 			return false
 		}
-		c.readQ = append(c.readQ, queued{r, c.clock + c.cfg.Latency})
+		c.readQ.pushBack(queued{r, c.clock + c.cfg.Latency})
 	}
 	return true
 }
@@ -232,11 +232,11 @@ func (c *Cache) TryPrefetch(r *mem.Request) bool {
 		c.Stats.PrefetchDropped++
 		return true // filtered, but accepted from the issuer's perspective
 	}
-	if len(c.prefQ) >= c.cfg.PrefQ {
+	if c.prefQ.len() >= c.cfg.PrefQ {
 		c.Stats.PrefetchDropped++
 		return false
 	}
-	c.prefQ = append(c.prefQ, queued{r, c.clock + c.cfg.Latency})
+	c.prefQ.pushBack(queued{r, c.clock + c.cfg.Latency})
 	c.Stats.PrefetchIssued++
 	return true
 }
@@ -246,12 +246,19 @@ func (c *Cache) TryPrefetch(r *mem.Request) bool {
 // writebacks.
 func (c *Cache) Tick(now uint64) {
 	c.clock = now
+	// Idle early-exit: with every input queue empty and no blocked miss
+	// traffic there is no per-cycle work — outstanding MSHR fills are
+	// driven by the lower level's completion callbacks, not by ticking.
+	// Most cache-cycles are idle (the LLC in particular), so this check
+	// dominates the per-tick cost of the whole hierarchy.
+	if c.readQ.n == 0 && c.prefQ.n == 0 && c.writeQ.n == 0 && len(c.unsent) == 0 {
+		return
+	}
 	c.retryUnsent()
 
 	budget := c.cfg.Bandwidth
-	for budget > 0 && len(c.readQ) > 0 && c.readQ[0].ready <= now {
-		q := c.readQ[0]
-		c.readQ = c.readQ[1:]
+	for budget > 0 && c.readQ.n > 0 && c.readQ.front().ready <= now {
+		q := c.readQ.popFront()
 		c.access(q.req, now)
 		budget--
 	}
@@ -263,7 +270,7 @@ func (c *Cache) Tick(now uint64) {
 	if prefBudget == 0 {
 		prefBudget = c.cfg.Bandwidth
 	}
-	for prefBudget > 0 && len(c.prefQ) > 0 && c.prefQ[0].ready <= now {
+	for prefBudget > 0 && c.prefQ.n > 0 && c.prefQ.front().ready <= now {
 		reserved := 4
 		if reserved > c.cfg.MSHRs/2 {
 			reserved = c.cfg.MSHRs / 2
@@ -271,19 +278,18 @@ func (c *Cache) Tick(now uint64) {
 		if len(c.mshrs) >= c.cfg.MSHRs-reserved {
 			break
 		}
-		q := c.prefQ[0]
-		c.prefQ = c.prefQ[1:]
+		q := c.prefQ.popFront()
 		c.access(q.req, now)
 		prefBudget--
 	}
 	// Writebacks are off the critical path but must keep pace with the
 	// eviction rate or they clog the hierarchy.
 	wbBudget := c.cfg.Bandwidth
-	for wbBudget > 0 && len(c.writeQ) > 0 && c.writeQ[0].ready <= now {
-		if !c.applyWriteback(c.writeQ[0].req, now) {
+	for wbBudget > 0 && c.writeQ.n > 0 && c.writeQ.front().ready <= now {
+		if !c.applyWriteback(c.writeQ.front().req, now) {
 			break
 		}
-		c.writeQ = c.writeQ[1:]
+		c.writeQ.popFront()
 		wbBudget--
 	}
 }
@@ -407,9 +413,9 @@ func childType(t mem.ReqType) mem.ReqType {
 func (c *Cache) readdHead(r *mem.Request, now uint64) {
 	q := queued{r, now + 1}
 	if r.Type == mem.ReqPrefetch {
-		c.prefQ = append([]queued{q}, c.prefQ...)
+		c.prefQ.pushFront(q)
 	} else {
-		c.readQ = append([]queued{q}, c.readQ...)
+		c.readQ.pushFront(q)
 	}
 }
 
@@ -491,7 +497,7 @@ func (c *Cache) evict(v *line, now uint64) {
 		wb := &mem.Request{Type: mem.ReqWriteback, Addr: v.tag, Line: v.tag, Core: -1, Issue: now}
 		if !c.lower.TryEnqueue(wb) {
 			// Model a bounded retry by dropping into our own write queue.
-			c.writeQ = append(c.writeQ, queued{wb, now + 1})
+			c.writeQ.pushBack(queued{wb, now + 1})
 		}
 		c.Stats.Writebacks++
 	}
@@ -549,7 +555,7 @@ func (c *Cache) notifyAccess(r *mem.Request, now uint64, hit, merged, prefHit bo
 // Pending returns the number of requests waiting in the input queues,
 // useful for drain loops in tests and at end of simulation.
 func (c *Cache) Pending() int {
-	return len(c.readQ) + len(c.prefQ) + len(c.writeQ) + len(c.mshrs)
+	return c.readQ.len() + c.prefQ.len() + c.writeQ.len() + len(c.mshrs)
 }
 
 // Add accumulates other into s (used to aggregate private caches).
@@ -590,7 +596,7 @@ func (s Stats) Accuracy() float64 {
 
 // Occupancy reports queue and MSHR occupancy for diagnostics.
 func (c *Cache) Occupancy() (readQ, prefQ, writeQ, mshrs int) {
-	return len(c.readQ), len(c.prefQ), len(c.writeQ), len(c.mshrs)
+	return c.readQ.len(), c.prefQ.len(), c.writeQ.len(), len(c.mshrs)
 }
 
 // RegisterProbes registers this cache level's sampled series under
@@ -602,9 +608,9 @@ func (c *Cache) RegisterProbes(tel *telemetry.Recorder, prefix string) {
 		return
 	}
 	tel.Probe(prefix+"mshr", func(uint64) float64 { return float64(len(c.mshrs)) })
-	tel.Probe(prefix+"readq", func(uint64) float64 { return float64(len(c.readQ)) })
-	tel.Probe(prefix+"prefq", func(uint64) float64 { return float64(len(c.prefQ)) })
-	tel.Probe(prefix+"writeq", func(uint64) float64 { return float64(len(c.writeQ)) })
+	tel.Probe(prefix+"readq", func(uint64) float64 { return float64(c.readQ.len()) })
+	tel.Probe(prefix+"prefq", func(uint64) float64 { return float64(c.prefQ.len()) })
+	tel.Probe(prefix+"writeq", func(uint64) float64 { return float64(c.writeQ.len()) })
 	var lastAcc, lastMiss uint64
 	tel.Probe(prefix+"miss_rate", func(uint64) float64 {
 		da := c.Stats.DemandAccesses - lastAcc

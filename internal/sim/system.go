@@ -44,6 +44,15 @@ type System struct {
 	tel         *telemetry.Recorder
 	sampleEvery uint64
 	lastIterEnd uint64
+
+	// Tick fast-path gates, fixed at construction: ctxOn skips the
+	// context-switch state machine when injection is disabled, and
+	// cycleDriven[c] skips the per-cycle prefetcher dispatch for the many
+	// prefetchers whose OnCycle is a no-op (only DROPLET and the RnR
+	// engine issue from the cycle loop). Context switches swap prefetcher
+	// *instances*, never kinds, so the flags stay valid across swaps.
+	ctxOn       bool
+	cycleDriven []bool
 }
 
 // barrier implements the SPMD iteration barrier of §VI: workers wait at
@@ -96,6 +105,7 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	s := &System{cfg: cfg, app: app, mc: dram.New(cfg.DRAM)}
 	s.barrier = newBarrier(cfg.Cores)
 	s.ctx = newCtxSwitch(cfg.CtxSwitch)
+	s.ctxOn = cfg.CtxSwitch.Period != 0
 	s.tel = cfg.Telemetry
 	s.sampleEvery = cfg.Telemetry.SampleInterval()
 	s.mc.Tel = s.tel
@@ -119,6 +129,7 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	s.prefs = make([]prefetch.Prefetcher, cfg.Cores)
 	s.droplets = make([]*prefetch.Droplet, cfg.Cores)
 	s.issueFns = make([]prefetch.IssueFunc, cfg.Cores)
+	s.cycleDriven = make([]bool, cfg.Cores)
 
 	for c := 0; c < cfg.Cores; c++ {
 		l2cfg := cfg.L2
@@ -142,6 +153,14 @@ func New(cfg Config, app *apps.App) (*System, error) {
 // wirePrefetcher builds the per-core prefetcher stack for cfg.Prefetcher.
 func (s *System) wirePrefetcher(c int) {
 	cfg, app := s.cfg, s.app
+	// Only these kinds do per-cycle work in OnCycle; for every other
+	// prefetcher the System.Tick loop skips the interface dispatch.
+	switch cfg.Prefetcher {
+	case PFDroplet, PFRnR, PFRnRCombined:
+		s.cycleDriven[c] = true
+	default:
+		s.cycleDriven[c] = false
+	}
 	switch cfg.Prefetcher {
 	case PFNone:
 		s.prefs[c] = prefetch.Nop{}
@@ -302,17 +321,23 @@ func (s *System) metaHook(c int) func(write bool, addr mem.Addr) {
 func (s *System) Tick() {
 	s.cycle++
 	now := s.cycle
-	switchedOut := s.ctx.tick(s, now)
-	for c := range s.cores {
-		if switchedOut {
-			continue // the process is descheduled: cores make no progress
+	switchedOut := false
+	if s.ctxOn {
+		switchedOut = s.ctx.tick(s, now)
+	}
+	if !switchedOut {
+		// The process is descheduled while switched out: cores make no
+		// progress (the memory system below still drains).
+		for c := range s.cores {
+			s.cores[c].Tick(now)
 		}
-		s.cores[c].Tick(now)
 	}
 	for c := range s.cores {
 		s.l1s[c].Tick(now)
 		s.l2s[c].Tick(now)
-		s.prefs[c].OnCycle(now, s.issueFns[c])
+		if s.cycleDriven[c] {
+			s.prefs[c].OnCycle(now, s.issueFns[c])
+		}
 	}
 	if s.llc != nil {
 		s.llc.Tick(now)
