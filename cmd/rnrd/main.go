@@ -1,0 +1,108 @@
+// Command rnrd is the experiment-serving daemon: a long-lived HTTP
+// front-end over the parallel evaluation engine. It accepts simulation
+// and experiment jobs, coalesces duplicates onto a content-addressed
+// result cache, streams progress over SSE and drains gracefully on
+// SIGTERM.
+//
+// Usage:
+//
+//	rnrd [-addr :8080] [-scale bench] [-workers N] [-queue 64]
+//	     [-parallelism N] [-job-timeout 0] [-drain-timeout 30s]
+//
+// See DESIGN.md ("Serving layer") for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rnrsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		scale        = flag.String("scale", "bench", "default input scale for submissions that omit one (test|bench|large)")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
+		parallelism  = flag.Int("parallelism", 0, "simulations run in parallel inside one experiment job (0 = GOMAXPROCS)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job lifetime cap, queue wait included (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *workers, *queueDepth, *parallelism,
+		*jobTimeout, *drainTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "rnrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scale string, workers, queueDepth, parallelism int,
+	jobTimeout, drainTimeout time.Duration, quiet bool) error {
+	if _, ok := serve.ParseScale(scale); !ok {
+		return fmt.Errorf("unknown scale %q (have %v)", scale, serve.ScaleNames)
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	mgr := serve.NewManager(serve.Options{
+		DefaultScale: scale,
+		QueueDepth:   queueDepth,
+		Workers:      workers,
+		JobTimeout:   jobTimeout,
+		Parallelism:  parallelism,
+		Logf:         logf,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	log.Printf("rnrd listening on http://%s (default scale %s)", ln.Addr(), scale)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: first stop accepting jobs and let in-flight
+	// work finish (watchers on open SSE streams still receive their
+	// terminal events), then close the HTTP server.
+	log.Printf("rnrd: signal received, draining (timeout %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("rnrd: drain incomplete, jobs cancelled: %v", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	log.Printf("rnrd: shutdown complete")
+	return nil
+}

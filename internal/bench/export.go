@@ -12,9 +12,31 @@ import (
 
 // RunExport pairs a memoised run key ("workload/input/prefetcher/tag")
 // with its machine-readable result, flattened into one JSON object.
+// The embedded ResultJSON carries the export envelope
+// (schema_version/generated_at), so each record is self-describing even
+// when extracted from the surrounding SuiteExport.
 type RunExport struct {
 	Key string `json:"key"`
 	sim.ResultJSON
+}
+
+// SuiteExport is the machine-readable dump of every result a suite has
+// simulated, wrapped in the export envelope so cached artefacts remain
+// self-describing.
+type SuiteExport struct {
+	SchemaVersion string      `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at"`
+	Results       []RunExport `json:"results"`
+}
+
+// Export wraps Exports in the stamped envelope.
+func (s *Suite) Export() SuiteExport {
+	schema, generated := sim.Stamp()
+	return SuiteExport{
+		SchemaVersion: schema,
+		GeneratedAt:   generated,
+		Results:       s.Exports(),
+	}
 }
 
 // Exports returns every result the suite has simulated so far, sorted by
@@ -44,12 +66,13 @@ func (s *Suite) Exports() []RunExport {
 }
 
 // WriteResultsJSON writes every memoised result as one indented JSON
-// array — the machine-readable companion to the text tables, so bench
-// trajectories can be generated without parsing the table output.
+// envelope ({schema_version, generated_at, results: [...]}) — the
+// machine-readable companion to the text tables, so bench trajectories
+// can be generated without parsing the table output.
 func (s *Suite) WriteResultsJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s.Exports())
+	return enc.Encode(s.Export())
 }
 
 // WriteResultsFile writes the JSON results next to the text tables.

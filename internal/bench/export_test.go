@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/sim"
+)
+
+// TestSuiteExportEnvelope asserts every suite-level JSON dump carries
+// the export envelope (schema_version + RFC 3339 generated_at) at the
+// top, and that each embedded run export is stamped too.
+func TestSuiteExportEnvelope(t *testing.T) {
+	s := NewSuite(apps.ScaleTest)
+	s.Run("pagerank", "urand", sim.PFNone, Variant{})
+
+	exp := s.Export()
+	if exp.SchemaVersion != sim.ExportSchemaVersion {
+		t.Errorf("SchemaVersion = %q, want %q", exp.SchemaVersion, sim.ExportSchemaVersion)
+	}
+	if _, err := time.Parse(time.RFC3339, exp.GeneratedAt); err != nil {
+		t.Errorf("GeneratedAt %q is not RFC 3339: %v", exp.GeneratedAt, err)
+	}
+	if len(exp.Results) != 1 {
+		t.Fatalf("Results = %d, want 1", len(exp.Results))
+	}
+	if exp.Results[0].SchemaVersion != sim.ExportSchemaVersion {
+		t.Errorf("run export SchemaVersion = %q, want %q",
+			exp.Results[0].SchemaVersion, sim.ExportSchemaVersion)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteResultsJSON(&buf); err != nil {
+		t.Fatalf("WriteResultsJSON: %v", err)
+	}
+	var doc struct {
+		SchemaVersion string            `json:"schema_version"`
+		GeneratedAt   string            `json:"generated_at"`
+		Results       []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("results JSON does not parse: %v", err)
+	}
+	if doc.SchemaVersion != sim.ExportSchemaVersion || len(doc.Results) != 1 {
+		t.Errorf("results doc = {schema %q, %d results}, want {%q, 1}",
+			doc.SchemaVersion, len(doc.Results), sim.ExportSchemaVersion)
+	}
+	// The envelope must lead the document.
+	if !bytes.HasPrefix(buf.Bytes(), []byte("{\n  \"schema_version\": ")) {
+		t.Errorf("results JSON does not start with the envelope: %.80s", buf.String())
+	}
+}

@@ -15,6 +15,7 @@
 package bench
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -43,6 +44,33 @@ var ExperimentIDs = []string{
 	"record-overhead", "hw-overhead", "ctx-switch", "core-scaling",
 	"design-choices",
 }
+
+// experimentTitles names each experiment for discovery listings (the
+// serving layer's GET /v1/experiments) without having to run anything.
+var experimentTitles = map[string]string{
+	"tableII":         "Baseline configuration (paper values, scaled capacities in use)",
+	"tableIII":        "Workload inputs (synthetic stand-ins, scaled)",
+	"fig1":            "Prefetcher coverage and accuracy, PageRank on amazon",
+	"fig6":            "Speedup over no-prefetching baseline",
+	"fig7":            "L2 demand MPKI",
+	"fig8":            "Prefetch coverage",
+	"fig9":            "Prefetch accuracy",
+	"fig10":           "Replay timing control ablation: speedup over baseline (100 iters)",
+	"fig11":           "RnR prefetch timeliness (fractions of issued prefetches)",
+	"fig12":           "DRAM traffic relative to baseline",
+	"fig13":           "RnR metadata storage overhead (% of input size)",
+	"fig14":           "Window size sweep: geomean speedup and storage overhead",
+	"tableIV":         "Design comparison with the most related prefetchers",
+	"record-overhead": "Record iteration overhead vs baseline iteration (%)",
+	"hw-overhead":     "RnR per-core hardware budget",
+	"ctx-switch":      "Context-switch resilience (PageRank/urand, periodic descheduling)",
+	"core-scaling":    "Multicore scalability (PageRank/amazon)",
+	"design-choices":  "§III design-choice ablation (PageRank/urand)",
+}
+
+// ExperimentTitle returns a human-readable title for an experiment id
+// ("" for unknown ids).
+func ExperimentTitle(id string) string { return experimentTitles[id] }
 
 // Runner returns the table runner for an experiment id.
 func (s *Suite) Runner(id string) (func() *Table, bool) {
@@ -217,8 +245,23 @@ var timingControls = []rnr.TimingControl{
 // of distinct keys prewarmed. Errors surface as panics exactly as they
 // do on the serial path.
 func (s *Suite) Prewarm(plan []PlannedRun) int {
+	n, err := s.PrewarmContext(context.Background(), plan)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// PrewarmContext is Prewarm with cancellation: the pool stops
+// dispatching new runs as soon as ctx ends or a run fails, drains its
+// in-flight workers and returns the first error. Cancelled runs leave
+// the memoisation cache unpoisoned (see RunContext), so a later
+// Prewarm of the same plan starts the missing simulations afresh.
+// Panics from experiment-definition bugs propagate exactly as they do
+// on the serial path.
+func (s *Suite) PrewarmContext(ctx context.Context, plan []PlannedRun) (int, error) {
 	if len(plan) == 0 {
-		return 0
+		return 0, nil
 	}
 	workers := s.parallelism()
 
@@ -235,17 +278,25 @@ func (s *Suite) Prewarm(plan []PlannedRun) int {
 			appsNeeded = append(appsNeeded, k)
 		}
 	}
-	runPool(workers, len(appsNeeded), func(i int) {
-		s.App(appsNeeded[i].w, appsNeeded[i].in)
+	err := runPoolCtx(ctx, workers, len(appsNeeded), func(i int) error {
+		_, err := s.AppContext(ctx, appsNeeded[i].w, appsNeeded[i].in)
+		return err
 	})
+	if err != nil {
+		return 0, err
+	}
 
 	// Phase 2: the simulations. Duplicate keys were removed by Plan;
 	// singleflight in Run protects against callers racing Prewarm.
-	runPool(workers, len(plan), func(i int) {
+	err = runPoolCtx(ctx, workers, len(plan), func(i int) error {
 		r := plan[i]
-		s.Run(r.Workload, r.Input, r.PF, r.Variant)
+		_, err := s.RunContext(ctx, r.Workload, r.Input, r.PF, r.Variant)
+		return err
 	})
-	return len(plan)
+	if err != nil {
+		return 0, err
+	}
+	return len(plan), nil
 }
 
 // PrewarmIDs plans and prewarms the given experiments; the convenience
@@ -258,24 +309,48 @@ func (s *Suite) PrewarmIDs(ids ...string) int {
 // workers are captured and re-raised on the caller's goroutine after the
 // pool drains, preserving the serial path's panic semantics.
 func runPool(workers, n int, f func(i int)) {
+	_ = runPoolCtx(context.Background(), workers, n, func(i int) error {
+		f(i)
+		return nil
+	})
+}
+
+// runPoolCtx invokes f(0..n-1) over at most `workers` goroutines,
+// stopping dispatch at the first error or when ctx ends (in-flight
+// invocations drain before it returns). The first error wins; if
+// dispatch was aborted by ctx with no worker error, the ctx error is
+// returned. Panics in workers are captured and re-raised on the
+// caller's goroutine after the pool drains.
+func runPoolCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var (
-		wg    sync.WaitGroup
-		next  = make(chan int)
-		panMu sync.Mutex
-		pans  []any
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		mu       sync.Mutex
+		pans     []any
+		firstErr error
 	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -284,24 +359,50 @@ func runPool(workers, n int, f func(i int)) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panMu.Lock()
+							mu.Lock()
 							pans = append(pans, r)
-							panMu.Unlock()
+							mu.Unlock()
 						}
 					}()
-					f(i)
+					if err := f(i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
 				}()
 			}
 		}()
 	}
+	aborted := false
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		if failed() {
+			aborted = true
+			break dispatch
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			aborted = true
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	if len(pans) > 0 {
 		panic(pans[0])
 	}
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if aborted {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // PlanKeys returns the sorted distinct key set of a plan (test helper

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rnrsim/internal/apps"
@@ -43,6 +46,11 @@ type Suite struct {
 	results   map[string]*runCall
 	requested map[string]struct{} // every Run key ever asked for (hit or miss)
 	scaleG    *graph.Graph        // memoised core-scaling input
+
+	// freshRuns counts completed fresh simulations (memoised hits and
+	// cancelled runs excluded). The serving layer's coalescing tests
+	// use it to prove that duplicate submissions share one simulation.
+	freshRuns atomic.Uint64
 
 	// Progress, if set, is called before each fresh simulation run.
 	// It may be called from multiple goroutines concurrently; the
@@ -103,6 +111,22 @@ func (s *Suite) parallelism() int {
 // callers of the same key share one build; different keys build in
 // parallel.
 func (s *Suite) App(workload, input string) *apps.App {
+	app, err := s.AppContext(context.Background(), workload, input)
+	if err != nil {
+		panic(err) // experiment-definition bug, not a runtime condition
+	}
+	return app
+}
+
+// AppContext is App with cancellation and an error return: a caller
+// whose ctx ends while waiting on another goroutine's build gives up
+// (the build itself keeps running and lands in the cache), and build
+// failures are returned instead of panicking. Successful builds are
+// memoised exactly as App memoises them.
+func (s *Suite) AppContext(ctx context.Context, workload, input string) (*apps.App, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := workload + "/" + input
 	s.mu.Lock()
 	c, ok := s.apps[key]
@@ -112,17 +136,18 @@ func (s *Suite) App(workload, input string) *apps.App {
 	}
 	s.mu.Unlock()
 	if ok {
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bench: waiting for app %s: %w", key, ctx.Err())
+		}
 	} else {
 		func() {
 			defer close(c.done)
 			c.app, c.err = apps.Build(workload, input, s.Scale)
 		}()
 	}
-	if c.err != nil {
-		panic(c.err) // experiment-definition bug, not a runtime condition
-	}
-	return c.app
+	return c.app, c.err
 }
 
 // Variant customises a run beyond the prefetcher kind.
@@ -136,43 +161,154 @@ func runKey(workload, input string, pf sim.PrefetcherKind, tag string) string {
 	return fmt.Sprintf("%s/%s/%s/%s", workload, input, pf, tag)
 }
 
+// RunKey exposes the canonical memoisation key
+// ("workload/input/prefetcher/tag"). The serving layer derives its
+// content-addressed job IDs from it, so a duplicate HTTP submission
+// lands on the same job and, underneath, the same singleflight cache
+// entry as every other request for that simulation.
+func RunKey(workload, input string, pf sim.PrefetcherKind, tag string) string {
+	return runKey(workload, input, pf, tag)
+}
+
+// NamedVariant resolves a stable wire name to a run variant — the
+// subset of Variant configurations expressible over the HTTP API
+// (functions don't serialise; tags do). The names are exactly the
+// Variant tags, so a resolved variant reproduces the memoisation key
+// its tag appears in. The empty name is the plain variant. Window
+// sweeps use "winN" (N in cache lines).
+func NamedVariant(name string) (Variant, bool) {
+	switch name {
+	case "", "plain":
+		return Variant{}, true
+	case "ideal":
+		return IdealVariant(), true
+	case "ctxsw":
+		return CtxSwitchVariant(), true
+	case "recordall":
+		return RecordAllVariant(), true
+	case "llcdest":
+		return LLCDestVariant(), true
+	}
+	for _, ctl := range timingControls {
+		if v := ControlVariant(ctl); v.Tag == name {
+			return v, true
+		}
+	}
+	var win uint64
+	if n, err := fmt.Sscanf(name, "win%d", &win); n == 1 && err == nil && win > 0 {
+		if v := WindowVariant(win); v.Tag == name { // reject "win07"-style aliases
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// VariantNames lists the fixed wire names NamedVariant accepts (the
+// parametric "window-N" family excluded), for API discovery.
+func VariantNames() []string {
+	names := []string{"plain", "ideal", "ctxsw", "recordall", "llcdest"}
+	for _, ctl := range timingControls {
+		names = append(names, ControlVariant(ctl).Tag)
+	}
+	return names
+}
+
 // Run simulates (memoised, singleflight) the workload/input under the
 // prefetcher. Exactly one fresh simulation happens per distinct key even
 // under concurrent callers; the losers of the insert race block until
 // the winner's result is ready.
 func (s *Suite) Run(workload, input string, pf sim.PrefetcherKind, v Variant) *sim.Result {
-	key := runKey(workload, input, pf, v.Tag)
-	s.mu.Lock()
-	s.requested[key] = struct{}{}
-	c, ok := s.results[key]
-	if !ok {
-		c = &runCall{done: make(chan struct{})}
-		s.results[key] = c
+	r, err := s.RunContext(context.Background(), workload, input, pf, v)
+	if err != nil {
+		panic(err)
 	}
-	s.mu.Unlock()
+	return r
+}
 
-	if ok {
-		<-c.done
-	} else {
-		func() {
-			defer close(c.done) // never leave waiters hanging, even on panic
-			c.res, c.err = s.simulate(key, workload, input, pf, v)
-		}()
+// IsCancellation reports whether err is (or wraps) a context
+// cancellation or deadline expiry — the errors RunContext returns for
+// abandoned runs, which deliberately do not poison the memoisation
+// cache.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunContext is Run with cancellation and an error return. The
+// singleflight contract holds: exactly one fresh simulation per key
+// under any caller interleaving. Cancellation interacts with the cache
+// in two deliberate ways:
+//
+//   - A cancelled *winner* removes its cache entry before waking its
+//     waiters, so the cancellation never poisons the cache — the next
+//     caller of the key starts a fresh simulation.
+//   - A *waiter* whose winner was cancelled (but whose own ctx is still
+//     alive) retries and typically becomes the new winner, so an
+//     unrelated client's disconnect cannot fail another client's job.
+//
+// A waiter whose own ctx ends while blocked gives up immediately; the
+// in-flight simulation it was waiting on is unaffected.
+func (s *Suite) RunContext(ctx context.Context, workload, input string, pf sim.PrefetcherKind, v Variant) (*sim.Result, error) {
+	key := runKey(workload, input, pf, v.Tag)
+	for {
+		s.mu.Lock()
+		s.requested[key] = struct{}{}
+		c, ok := s.results[key]
+		if !ok {
+			c = &runCall{done: make(chan struct{})}
+			s.results[key] = c
+		}
+		s.mu.Unlock()
+
+		if !ok {
+			s.runFresh(ctx, c, key, workload, input, pf, v)
+		} else {
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("bench: waiting for %s: %w", key, ctx.Err())
+			}
+			if IsCancellation(c.err) && ctx.Err() == nil {
+				// The winner was cancelled; its entry was removed before
+				// c.done closed. We are still alive: retry fresh.
+				continue
+			}
+		}
+		return c.res, c.err
 	}
-	if c.err != nil {
-		panic(c.err)
+}
+
+// runFresh is the singleflight winner's path: simulate, publish the
+// outcome on c, wake the waiters. A cancelled run deletes its map entry
+// *before* close(c.done) so retrying waiters cannot re-adopt the dead
+// entry.
+func (s *Suite) runFresh(ctx context.Context, c *runCall, key, workload, input string, pf sim.PrefetcherKind, v Variant) {
+	defer close(c.done) // never leave waiters hanging, even on panic
+	c.res, c.err = s.simulate(ctx, key, workload, input, pf, v)
+	if IsCancellation(c.err) {
+		s.mu.Lock()
+		if s.results[key] == c {
+			delete(s.results, key)
+		}
+		s.mu.Unlock()
 	}
-	return c.res
 }
 
 // simulate performs one fresh run (the singleflight winner's path).
-func (s *Suite) simulate(key, workload, input string, pf sim.PrefetcherKind, v Variant) (*sim.Result, error) {
-	app := s.App(workload, input)
+func (s *Suite) simulate(ctx context.Context, key, workload, input string, pf sim.PrefetcherKind, v Variant) (*sim.Result, error) {
+	app, err := s.AppContext(ctx, workload, input)
+	if err != nil {
+		return nil, err
+	}
 	cfg := s.Config
 	cfg.Prefetcher = pf
 	cfg.Name = key
 	if v.Mutate != nil {
 		v.Mutate(&cfg)
+	}
+	if fn := progressFrom(ctx); fn != nil {
+		cfg.OnIteration = func(iter int, cycle uint64) {
+			fn(ProgressEvent{Key: key, Iteration: iter, Cycle: cycle})
+		}
 	}
 	if s.Progress != nil {
 		s.Progress(key)
@@ -183,10 +319,11 @@ func (s *Suite) simulate(key, workload, input string, pf sim.PrefetcherKind, v V
 		cfg.Telemetry = rec
 	}
 	start := time.Now()
-	r, err := sim.Run(cfg, app)
+	r, err := sim.RunContext(ctx, cfg, app)
 	if err != nil {
 		return nil, err
 	}
+	s.freshRuns.Add(1)
 	if rec != nil && s.OnInstrumented != nil {
 		s.OnInstrumented(key, rec)
 	}
@@ -194,6 +331,40 @@ func (s *Suite) simulate(key, workload, input string, pf sim.PrefetcherKind, v V
 		s.OnRunDone(key, time.Since(start))
 	}
 	return r, nil
+}
+
+// FreshRuns returns how many fresh (non-memoised) simulations have
+// completed successfully so far. Coalescing tests assert on deltas of
+// this counter.
+func (s *Suite) FreshRuns() uint64 { return s.freshRuns.Load() }
+
+// ProgressEvent is one live progress tick from a fresh simulation: the
+// run key it belongs to and the iteration barrier that just opened.
+type ProgressEvent struct {
+	Key       string
+	Iteration int
+	Cycle     uint64
+}
+
+// progressCtxKey carries a per-caller progress callback through
+// RunContext into the simulator's OnIteration hook.
+type progressCtxKey struct{}
+
+// WithProgress returns a ctx that delivers per-iteration progress
+// events for every fresh simulation started under it. Only the
+// singleflight winner's callback fires (memoised hits simulate
+// nothing); the serving layer fans the winner's events out to every
+// subscriber of the coalesced job.
+func WithProgress(ctx context.Context, fn func(ProgressEvent)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+func progressFrom(ctx context.Context) func(ProgressEvent) {
+	fn, _ := ctx.Value(progressCtxKey{}).(func(ProgressEvent))
+	return fn
 }
 
 // RequestedKeys returns a snapshot of every run key Run has been asked

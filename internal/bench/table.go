@@ -10,13 +10,14 @@ import (
 )
 
 // Table is one rendered experiment: a paper artefact id, a caption, a
-// header row and data rows.
+// header row and data rows. The JSON form is what the serving layer's
+// experiment jobs return.
 type Table struct {
-	ID     string // "fig6", "tableII", ...
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"` // "fig6", "tableII", ...
+	Title  string     `json:"title"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of already-formatted cells.

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event types on a job's SSE stream.
+const (
+	// EventState marks a lifecycle transition (queued, running, done,
+	// failed, canceled). Terminal states end the stream.
+	EventState = "state"
+	// EventPhase is a live progress tick from inside the simulator: one
+	// per iteration-barrier opening, labelled with the run key (an
+	// experiment job interleaves ticks from many keys).
+	EventPhase = "phase"
+)
+
+// Event is one frame on a job's event stream. Seq is assigned by the
+// log, strictly increasing per job, and doubles as the SSE `id:` field
+// so clients can detect gaps.
+type Event struct {
+	Seq   int       `json:"seq"`
+	Type  string    `json:"type"`
+	State JobState  `json:"state,omitempty"`
+	Error string    `json:"error,omitempty"`
+	Phase *PhaseRef `json:"phase,omitempty"`
+}
+
+// PhaseRef locates a progress tick: which memoised run it came from and
+// where that simulation is.
+type PhaseRef struct {
+	Key       string `json:"key"`
+	Iteration int    `json:"iteration"`
+	Cycle     uint64 `json:"cycle"`
+}
+
+// WriteSSE renders the event as one server-sent-events frame.
+func (e Event) WriteSSE(w io.Writer) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
+// maxRetainedEvents bounds a job's event history. State events are
+// five per lifetime; phase ticks dominate, one per simulated
+// iteration, so the bound only matters for pathological workloads.
+// When it is hit the oldest events are dropped — subscribers see the
+// gap in Seq.
+const maxRetainedEvents = 4096
+
+// subscriberBuffer is the per-subscriber channel depth. A subscriber
+// that falls further behind than this has events dropped (never the
+// terminal state event: closeLog is ordered after the final publish,
+// and the channel close itself signals termination).
+const subscriberBuffer = 1024
+
+// eventLog is a per-job append-only event history with fan-out: late
+// subscribers replay the retained history, then follow live.
+type eventLog struct {
+	mu     sync.Mutex
+	next   int // next Seq
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan Event]struct{})}
+}
+
+// publish stamps the event with the next sequence number, retains it
+// and fans it out. Slow subscribers lose the event rather than block
+// the simulation goroutine publishing it.
+func (l *eventLog) publish(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = l.next
+	l.next++
+	l.events = append(l.events, ev)
+	if len(l.events) > maxRetainedEvents {
+		l.events = l.events[len(l.events)-maxRetainedEvents:]
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block
+		}
+	}
+}
+
+// closeLog ends the stream: every subscriber channel is closed after
+// the events already queued drain. Publishing after closeLog is a
+// no-op.
+func (l *eventLog) closeLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+}
+
+// subscribe returns the retained history and a live channel (nil when
+// the log is already closed — the history is complete). cancel must be
+// called when the subscriber goes away; it is safe to call after
+// closeLog.
+func (l *eventLog) subscribe() (history []Event, live <-chan Event, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	history = append([]Event(nil), l.events...)
+	if l.closed {
+		return history, nil, func() {}
+	}
+	ch := make(chan Event, subscriberBuffer)
+	l.subs[ch] = struct{}{}
+	return history, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package serve is the experiment-serving layer: a long-lived daemon
+// front-end (cmd/rnrd) over the parallel evaluation engine in
+// internal/bench. It turns one-shot CLI simulations into a job service:
+//
+//   - POST /v1/runs submits a {workload, input, prefetcher, variant,
+//     scale} simulation and returns a content-addressed job ID derived
+//     from the bench memoisation key, so duplicate submissions coalesce
+//     onto one job and, underneath, one singleflight cache entry.
+//   - GET /v1/runs/{id} reports status and (when done) the stamped
+//     result JSON; /v1/runs/{id}/events streams progress over SSE.
+//   - POST /v1/experiments/{id} runs a whole paper artefact (a bench
+//     table) as a job.
+//
+// Robustness is the design center: the job queue is bounded (full →
+// 429 + Retry-After), every job carries a context with an optional
+// timeout, client disconnect cancels abandoned jobs all the way down
+// into the simulator tick loop, and shutdown drains in-flight work.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/bench"
+	"rnrsim/internal/sim"
+)
+
+// JobState is the lifecycle of a job. Transitions:
+//
+//	queued → running → done
+//	                 → failed
+//	queued|running   → canceled
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job kinds.
+const (
+	KindRun        = "run"
+	KindExperiment = "experiment"
+)
+
+// RunSpec is the client-visible description of one simulation.
+type RunSpec struct {
+	Workload   string `json:"workload"`
+	Input      string `json:"input"`
+	Prefetcher string `json:"prefetcher"`
+	// Variant is a stable variant name (see bench.NamedVariant):
+	// "" or "plain", "ideal", "ctxsw", "recordall", "llcdest",
+	// "ctl-*", "winN".
+	Variant string `json:"variant,omitempty"`
+	// Scale is "test", "bench" or "large"; empty uses the daemon's
+	// default.
+	Scale string `json:"scale,omitempty"`
+	// Detach opts the job out of abandonment cancellation: it runs to
+	// completion even if every watching client disconnects.
+	Detach bool `json:"detach,omitempty"`
+}
+
+// ParseScale maps a wire scale name to apps.Scale.
+func ParseScale(name string) (apps.Scale, bool) {
+	switch name {
+	case "test":
+		return apps.ScaleTest, true
+	case "bench":
+		return apps.ScaleBench, true
+	case "large":
+		return apps.ScaleLarge, true
+	}
+	return 0, false
+}
+
+// ScaleNames lists the accepted wire scale names.
+var ScaleNames = []string{"test", "bench", "large"}
+
+// normalize validates the spec and fills defaults. It is deliberately
+// strict: everything a job would panic or spin on later is rejected at
+// submission time with a client error.
+func (sp *RunSpec) normalize(defaultScale string) error {
+	if sp.Scale == "" {
+		sp.Scale = defaultScale
+	}
+	if _, ok := ParseScale(sp.Scale); !ok {
+		return fmt.Errorf("unknown scale %q (have %v)", sp.Scale, ScaleNames)
+	}
+	if !slices.Contains(apps.Workloads, sp.Workload) {
+		return fmt.Errorf("unknown workload %q (have %v)", sp.Workload, apps.Workloads)
+	}
+	if !slices.Contains(apps.InputsFor(sp.Workload), sp.Input) {
+		return fmt.Errorf("unknown input %q for workload %q (have %v)",
+			sp.Input, sp.Workload, apps.InputsFor(sp.Workload))
+	}
+	if sp.Prefetcher == "" {
+		sp.Prefetcher = string(sim.PFNone)
+	}
+	if !slices.Contains(sim.AllPrefetchers, sim.PrefetcherKind(sp.Prefetcher)) {
+		return fmt.Errorf("unknown prefetcher %q (have %v)", sp.Prefetcher, sim.AllPrefetchers)
+	}
+	if _, ok := bench.NamedVariant(sp.Variant); !ok {
+		return fmt.Errorf("unknown variant %q (have %v, or winN)", sp.Variant, bench.VariantNames())
+	}
+	return nil
+}
+
+// key returns the bench memoisation key the spec resolves to.
+func (sp RunSpec) key() string {
+	v, _ := bench.NamedVariant(sp.Variant)
+	return bench.RunKey(sp.Workload, sp.Input, sim.PrefetcherKind(sp.Prefetcher), v.Tag)
+}
+
+// RunJobID derives the content-addressed job ID of a run spec: a hash
+// over the scale plus the bench memoisation key. Two submissions that
+// would simulate the same thing therefore share one job (and one
+// singleflight cache entry); detach does not participate, so a watcher
+// of a detached job coalesces too.
+func RunJobID(spec RunSpec) string {
+	return jobID("r", spec.Scale+"|"+spec.key())
+}
+
+// ExperimentJobID derives the content-addressed job ID of a whole-table
+// experiment job.
+func ExperimentJobID(scale, experiment string) string {
+	return jobID("x", scale+"|exp|"+experiment)
+}
+
+func jobID(prefix, key string) string {
+	sum := sha256.Sum256([]byte("rnrd.v1|" + key))
+	return prefix + hex.EncodeToString(sum[:])[:24]
+}
+
+// Job is one unit of serving work: a single simulation (KindRun) or a
+// whole paper artefact (KindExperiment). Jobs are identified by a
+// content-addressed ID, so the jobs map doubles as the daemon's
+// content-addressed result cache.
+type Job struct {
+	ID         string
+	Kind       string
+	Spec       RunSpec // for KindRun (and Scale/Detach for experiments)
+	Experiment string  // for KindExperiment
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	log    *eventLog
+	done   chan struct{}
+
+	mu          sync.Mutex
+	state       JobState
+	errMsg      string
+	result      json.RawMessage
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	watchers    int
+	onAbandoned func(*Job) // set by the manager; called outside mu
+}
+
+func newJob(base context.Context, id, kind string, spec RunSpec, experiment string, timeout time.Duration) *Job {
+	ctx, cancel := context.WithCancel(base)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	}
+	j := &Job{
+		ID:         id,
+		Kind:       kind,
+		Spec:       spec,
+		Experiment: experiment,
+		ctx:        ctx,
+		cancel:     cancel,
+		log:        newEventLog(),
+		done:       make(chan struct{}),
+		state:      StateQueued,
+		created:    nowFn(),
+	}
+	j.log.publish(Event{Type: EventState, State: StateQueued})
+	return j
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setRunning flips queued → running (no-op if the job is already
+// terminal, e.g. cancelled while queued).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.started = nowFn()
+	j.mu.Unlock()
+	j.log.publish(Event{Type: EventState, State: StateRunning})
+	return true
+}
+
+// finish moves the job to a terminal state, publishes the final event
+// and releases the job's context resources. Idempotent: only the first
+// call wins.
+func (j *Job) finish(state JobState, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = nowFn()
+	j.mu.Unlock()
+	j.log.publish(Event{Type: EventState, State: state, Error: errMsg})
+	j.log.closeLog()
+	j.cancel() // release the timeout timer / subtree
+	close(j.done)
+}
+
+// Cancel requests cancellation: a queued job is finished immediately, a
+// running job's context is cancelled (the simulator notices within one
+// tick batch and the worker records the terminal state).
+func (j *Job) Cancel(reason string) {
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	j.cancel()
+	if queued {
+		j.finish(StateCanceled, nil, reason)
+	}
+}
+
+// addWatcher registers an interested client (an SSE stream or a
+// blocking status poll).
+func (j *Job) addWatcher() {
+	j.mu.Lock()
+	j.watchers++
+	j.mu.Unlock()
+}
+
+// removeWatcher drops a client. When the last watcher of a
+// non-detached, still-active job disconnects, the job is abandoned:
+// its context is cancelled, which unwinds through bench.Suite into the
+// simulator tick loop.
+func (j *Job) removeWatcher() {
+	j.mu.Lock()
+	j.watchers--
+	abandoned := j.watchers == 0 && !j.Spec.Detach && !j.state.Terminal()
+	hook := j.onAbandoned
+	j.mu.Unlock()
+	if abandoned {
+		if hook != nil {
+			hook(j)
+		}
+		j.Cancel("abandoned: all watching clients disconnected")
+	}
+}
+
+// JobView is the status/result JSON of a job, stamped with the export
+// envelope.
+type JobView struct {
+	SchemaVersion string `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+
+	ID         string   `json:"id"`
+	Kind       string   `json:"kind"`
+	State      JobState `json:"state"`
+	Key        string   `json:"key,omitempty"` // bench memoisation key (runs)
+	Spec       *RunSpec `json:"spec,omitempty"`
+	Experiment string   `json:"experiment,omitempty"`
+	Scale      string   `json:"scale,omitempty"`
+	Error      string   `json:"error,omitempty"`
+
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	Watchers int    `json:"watchers"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// View snapshots the job for serialisation. withResult=false omits the
+// (potentially large) result payload, for listings.
+func (j *Job) View(withResult bool) JobView {
+	schema, generated := sim.Stamp()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		SchemaVersion: schema,
+		GeneratedAt:   generated,
+		ID:            j.ID,
+		Kind:          j.Kind,
+		State:         j.state,
+		Error:         j.errMsg,
+		Created:       j.created.UTC().Format(time.RFC3339Nano),
+		Watchers:      j.watchers,
+	}
+	switch j.Kind {
+	case KindRun:
+		spec := j.Spec
+		v.Spec = &spec
+		v.Key = spec.key()
+		v.Scale = spec.Scale
+	case KindExperiment:
+		v.Experiment = j.Experiment
+		v.Scale = j.Spec.Scale
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// nowFn is stubbed in tests.
+var nowFn = time.Now

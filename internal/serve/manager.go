@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"time"
+
+	"sync"
+
+	"rnrsim/internal/bench"
+	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
+)
+
+// Submission/runtime errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is returned when the bounded job queue has no room;
+	// the HTTP layer answers 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining is returned once shutdown has begun; the HTTP layer
+	// answers 503.
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrUnknownJob is returned for lookups of ids never submitted.
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Telemetry instrument names the manager maintains (exposed through
+// /metrics and asserted on by the lifecycle tests).
+const (
+	CounterJobsSubmitted = "rnrd.jobs_submitted"
+	CounterJobsCoalesced = "rnrd.jobs_coalesced"
+	CounterJobsDone      = "rnrd.jobs_done"
+	CounterJobsFailed    = "rnrd.jobs_failed"
+	CounterJobsCanceled  = "rnrd.jobs_canceled"
+	CounterJobsAbandoned = "rnrd.jobs_abandoned"
+	CounterQueueRejects  = "rnrd.queue_rejects"
+	CounterPhaseTicks    = "rnrd.phase_ticks"
+	GaugeQueueDepth      = "rnrd.queue_depth"
+	GaugeJobsActive      = "rnrd.jobs_active"
+)
+
+// Options configures a Manager. The zero value is usable: every field
+// has a serving-appropriate default.
+type Options struct {
+	// DefaultScale is the input scale used when a submission leaves
+	// Scale empty. Default "bench".
+	DefaultScale string
+	// QueueDepth bounds the number of jobs waiting to run; a full
+	// queue rejects submissions with ErrQueueFull. Default 64.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently. Default
+	// GOMAXPROCS.
+	Workers int
+	// JobTimeout caps one job's total lifetime (queue wait included).
+	// 0 means no timeout.
+	JobTimeout time.Duration
+	// RetryAfter is the backpressure hint attached to 429 responses.
+	// Default 2s.
+	RetryAfter time.Duration
+	// Parallelism is handed to each bench.Suite (the width of
+	// experiment prewarms). 0 means GOMAXPROCS.
+	Parallelism int
+	// Registry receives the manager's counters and gauges. Default
+	// telemetry.Default.
+	Registry *telemetry.Registry
+	// Logf, if set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fillDefaults() {
+	if o.DefaultScale == "" {
+		o.DefaultScale = "bench"
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 2 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Manager owns the job queue, the worker pool, the per-scale
+// bench.Suites (and through them the singleflight result memoisation)
+// and the content-addressed job store.
+type Manager struct {
+	opts Options
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	st       *store
+	suites   map[string]*bench.Suite
+	draining bool
+	active   int // jobs currently inside runJob
+
+	cSubmitted, cCoalesced, cDone, cFailed *telemetry.Counter
+	cCanceled, cAbandoned, cRejects        *telemetry.Counter
+	cPhaseTicks                            *telemetry.Counter
+}
+
+// NewManager builds and starts a manager: its workers are live on
+// return and Shutdown must eventually be called.
+func NewManager(opts Options) *Manager {
+	opts.fillDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		baseCtx:    ctx,
+		stopAll:    cancel,
+		queue:      make(chan *Job, opts.QueueDepth),
+		st:         newStore(),
+		suites:     make(map[string]*bench.Suite),
+		cSubmitted: opts.Registry.Counter(CounterJobsSubmitted),
+		cCoalesced: opts.Registry.Counter(CounterJobsCoalesced),
+		cDone:      opts.Registry.Counter(CounterJobsDone),
+		cFailed:    opts.Registry.Counter(CounterJobsFailed),
+		cCanceled:  opts.Registry.Counter(CounterJobsCanceled),
+		cAbandoned: opts.Registry.Counter(CounterJobsAbandoned),
+		cRejects:   opts.Registry.Counter(CounterQueueRejects),
+		cPhaseTicks: opts.Registry.Counter(
+			CounterPhaseTicks),
+	}
+	opts.Registry.Probe(GaugeQueueDepth, func(uint64) float64 {
+		return float64(len(m.queue))
+	})
+	opts.Registry.Probe(GaugeJobsActive, func(uint64) float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.active)
+	})
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Options returns the effective (default-filled) options.
+func (m *Manager) Options() Options { return m.opts }
+
+// Registry returns the telemetry registry the manager reports into.
+func (m *Manager) Registry() *telemetry.Registry { return m.opts.Registry }
+
+// suite returns (building once) the bench.Suite for a scale. The suite
+// is the content cache: every result ever simulated at that scale is
+// memoised in it by run key.
+func (m *Manager) suite(scale string) *bench.Suite {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.suiteLocked(scale)
+}
+
+func (m *Manager) suiteLocked(scale string) *bench.Suite {
+	if s, ok := m.suites[scale]; ok {
+		return s
+	}
+	sc, _ := ParseScale(scale)
+	s := bench.NewSuite(sc)
+	s.Parallelism = m.opts.Parallelism
+	logf := m.opts.Logf
+	s.Progress = func(key string) { logf("simulating %s/%s", scale, key) }
+	s.OnRunDone = func(key string, elapsed time.Duration) {
+		logf("done %s/%s in %.1fs", scale, key, elapsed.Seconds())
+	}
+	m.suites[scale] = s
+	return s
+}
+
+// FreshRuns sums completed fresh simulations across every scale's
+// suite — the observable the duplicate-submission tests assert on.
+func (m *Manager) FreshRuns() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, s := range m.suites {
+		n += s.FreshRuns()
+	}
+	return n
+}
+
+// SubmitRun submits (or coalesces onto) the content-addressed job for
+// the spec. The boolean reports whether a fresh job was created; a
+// coalesced submission returns the existing live or completed job.
+// A failed or cancelled previous generation is replaced by a fresh
+// one, so transient failures don't wedge a content address.
+func (m *Manager) SubmitRun(spec RunSpec) (*Job, bool, error) {
+	if err := spec.normalize(m.opts.DefaultScale); err != nil {
+		return nil, false, err
+	}
+	id := RunJobID(spec)
+	return m.submit(id, KindRun, spec, "")
+}
+
+// SubmitExperiment submits (or coalesces onto) a whole-table
+// experiment job. spec only contributes Scale and Detach.
+func (m *Manager) SubmitExperiment(experiment string, spec RunSpec) (*Job, bool, error) {
+	if !slices.Contains(bench.ExperimentIDs, experiment) {
+		return nil, false, fmt.Errorf("unknown experiment %q (have %v)",
+			experiment, bench.ExperimentIDs)
+	}
+	if spec.Scale == "" {
+		spec.Scale = m.opts.DefaultScale
+	}
+	if _, ok := ParseScale(spec.Scale); !ok {
+		return nil, false, fmt.Errorf("unknown scale %q (have %v)", spec.Scale, ScaleNames)
+	}
+	id := ExperimentJobID(spec.Scale, experiment)
+	return m.submit(id, KindExperiment, spec, experiment)
+}
+
+func (m *Manager) submit(id, kind string, spec RunSpec, experiment string) (*Job, bool, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	if existing, ok := m.st.get(id); ok {
+		st := existing.State()
+		if st != StateFailed && st != StateCanceled {
+			m.cCoalesced.Inc()
+			m.mu.Unlock()
+			return existing, false, nil
+		}
+		// Previous generation is dead: fall through and replace it.
+	}
+	j := newJob(m.baseCtx, id, kind, spec, experiment, m.opts.JobTimeout)
+	j.onAbandoned = func(*Job) { m.cAbandoned.Inc() }
+	select {
+	case m.queue <- j:
+	default:
+		m.cRejects.Inc()
+		m.mu.Unlock()
+		j.cancel() // release the ctx we just created
+		return nil, false, ErrQueueFull
+	}
+	m.st.put(j)
+	m.cSubmitted.Inc()
+	m.mu.Unlock()
+	m.opts.Logf("queued %s job %s", kind, id)
+	return j, true, nil
+}
+
+// Job looks a job up by content address.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.st.get(id); ok {
+		return j, nil
+	}
+	return nil, ErrUnknownJob
+}
+
+// Jobs lists every current-generation job, oldest first.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.list()
+}
+
+// Cancel cancels a job by id.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel("canceled by request")
+	return nil
+}
+
+// Watch registers a client's interest in a job and returns the release
+// to call on disconnect. When the last watcher of a non-detached
+// active job releases, the job is cancelled (abandonment).
+func (m *Manager) Watch(j *Job) (release func()) {
+	j.addWatcher()
+	var once sync.Once
+	return func() { once.Do(j.removeWatcher) }
+}
+
+// RetryAfter returns the backpressure hint for 429 responses.
+func (m *Manager) RetryAfter() time.Duration { return m.opts.RetryAfter }
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Shutdown stops accepting jobs and drains: queued and running jobs
+// run to completion. If ctx expires first, every remaining job's
+// context is cancelled (the simulator stops within one tick batch) and
+// Shutdown still waits for the workers to record the cancellations
+// before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.opts.Logf("draining: waiting for in-flight jobs")
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.opts.Logf("drain deadline hit: cancelling remaining jobs")
+		m.stopAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker pulls jobs until the queue is closed and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job to a terminal state. Panics out of the bench
+// layer (experiment-definition bugs) are converted to job failures so
+// one bad request cannot take the daemon down.
+func (m *Manager) runJob(j *Job) {
+	if j.State().Terminal() { // cancelled while queued
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		m.finishErr(j, err)
+		return
+	}
+	if !j.setRunning() {
+		return
+	}
+	m.mu.Lock()
+	m.active++
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.active--
+		m.mu.Unlock()
+	}()
+
+	defer func() {
+		if r := recover(); r != nil {
+			m.finishErr(j, fmt.Errorf("panic: %v", r))
+		}
+	}()
+
+	ctx := bench.WithProgress(j.ctx, func(ev bench.ProgressEvent) {
+		m.cPhaseTicks.Inc()
+		j.log.publish(Event{Type: EventPhase, Phase: &PhaseRef{
+			Key:       ev.Key,
+			Iteration: ev.Iteration,
+			Cycle:     ev.Cycle,
+		}})
+	})
+	suite := m.suite(j.Spec.Scale)
+
+	switch j.Kind {
+	case KindRun:
+		v, _ := bench.NamedVariant(j.Spec.Variant)
+		res, err := suite.RunContext(ctx, j.Spec.Workload, j.Spec.Input,
+			sim.PrefetcherKind(j.Spec.Prefetcher), v)
+		if err != nil {
+			m.finishErr(j, err)
+			return
+		}
+		payload, err := json.Marshal(RunResult{
+			Key:        j.Spec.key(),
+			Scale:      j.Spec.Scale,
+			ResultJSON: res.Export(),
+		})
+		if err != nil {
+			m.finishErr(j, err)
+			return
+		}
+		j.finish(StateDone, payload, "")
+		m.cDone.Inc()
+	case KindExperiment:
+		if _, err := suite.PrewarmContext(ctx, suite.Plan(j.Experiment)); err != nil {
+			m.finishErr(j, err)
+			return
+		}
+		runner, ok := suite.Runner(j.Experiment)
+		if !ok {
+			m.finishErr(j, fmt.Errorf("unknown experiment %q", j.Experiment))
+			return
+		}
+		table := runner() // all cache hits after the prewarm
+		payload, err := json.Marshal(TableResult{
+			Experiment: j.Experiment,
+			Scale:      j.Spec.Scale,
+			Table:      table,
+		})
+		if err != nil {
+			m.finishErr(j, err)
+			return
+		}
+		j.finish(StateDone, payload, "")
+		m.cDone.Inc()
+	default:
+		m.finishErr(j, fmt.Errorf("unknown job kind %q", j.Kind))
+	}
+}
+
+// finishErr records a terminal failure, distinguishing cancellation
+// (client disconnect, explicit cancel, timeout, shutdown) from real
+// errors.
+func (m *Manager) finishErr(j *Job, err error) {
+	if bench.IsCancellation(err) {
+		j.finish(StateCanceled, nil, err.Error())
+		m.cCanceled.Inc()
+		m.opts.Logf("job %s canceled: %v", j.ID, err)
+		return
+	}
+	j.finish(StateFailed, nil, err.Error())
+	m.cFailed.Inc()
+	m.opts.Logf("job %s failed: %v", j.ID, err)
+}
+
+// RunResult is the payload of a completed run job: the bench run key
+// plus the stamped result export — the same record a cmd/experiments
+// -json dump contains for the same key.
+type RunResult struct {
+	Key   string `json:"key"`
+	Scale string `json:"scale"`
+	sim.ResultJSON
+}
+
+// TableResult is the payload of a completed experiment job.
+type TableResult struct {
+	Experiment string       `json:"experiment"`
+	Scale      string       `json:"scale"`
+	Table      *bench.Table `json:"table"`
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rnrsim/internal/telemetry"
+)
+
+// WriteMetrics renders the given registries in Prometheus text exposition
+// format (version 0.0.4). Later registries shadow earlier ones on name
+// collision, so passing (manager registry, telemetry.Default) gives the
+// manager's instruments priority when both are the same registry anyway.
+//
+// Counters keep their monotonic semantics (`# TYPE ... counter`); gauges
+// and probes are both exposed as `gauge`. Names are sanitised to the
+// Prometheus grammar: every byte outside [a-zA-Z0-9_:] becomes '_'
+// (so "rnrd.queue_depth" exposes as "rnrd_queue_depth").
+func WriteMetrics(w io.Writer, cycle uint64, regs ...*telemetry.Registry) error {
+	type row struct {
+		kind  string
+		value float64
+	}
+	merged := make(map[string]row)
+	seen := make(map[*telemetry.Registry]bool)
+	for _, r := range regs {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		for _, m := range r.Snapshot(cycle) {
+			merged[sanitizeMetricName(m.Name)] = row{kind: m.Kind, value: m.Value}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := merged[n]
+		typ := "gauge"
+		if m.kind == "counter" {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", n, typ, n, formatMetricValue(m.value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// formatMetricValue renders a float the way Prometheus expects: integral
+// values without an exponent or trailing zeros.
+func formatMetricValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"rnrsim/internal/bench"
+	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
+)
+
+// Server is the HTTP front-end over a Manager. Routes (Go 1.22 pattern
+// syntax):
+//
+//	GET  /healthz                 liveness (503 once draining)
+//	GET  /metrics                 Prometheus text exposition
+//	POST /v1/runs                 submit a run spec → job (202 / 200 coalesced)
+//	GET  /v1/runs                 list jobs (runs and experiments)
+//	GET  /v1/runs/{id}            job status + result (?wait=1 blocks)
+//	DELETE /v1/runs/{id}          cancel
+//	GET  /v1/runs/{id}/events     SSE progress stream
+//	GET  /v1/experiments          experiment registry
+//	POST /v1/experiments/{id}     submit a whole-table experiment job
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the route table over a running manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	SchemaVersion string `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+	Error         string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	schema, generated := sim.Stamp()
+	writeJSON(w, status, errorBody{
+		SchemaVersion: schema,
+		GeneratedAt:   generated,
+		Error:         fmt.Sprintf(format, args...),
+	})
+}
+
+// writeSubmitError maps manager submission errors onto HTTP statuses:
+// validation → 400, queue full → 429 + Retry-After, draining → 503.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		secs := int(s.m.RetryAfter().Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, 0, s.m.Registry(), telemetry.Default)
+}
+
+// handleSubmitRun submits a run. 202 for a freshly created job, 200 when
+// the submission coalesced onto an existing one. ?wait=1 blocks until
+// the job is terminal and returns the full result (the waiting client
+// counts as a watcher: disconnecting mid-wait can abandon the job).
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, fresh, err := s.m.SubmitRun(spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	s.respondSubmitted(w, r, j, fresh)
+}
+
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, fresh, err := s.m.SubmitExperiment(r.PathValue("id"), spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	s.respondSubmitted(w, r, j, fresh)
+}
+
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, j *Job, fresh bool) {
+	if wantWait(r) {
+		if !s.waitForJob(w, r, j) {
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View(true))
+		return
+	}
+	status := http.StatusOK
+	if fresh {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, j.View(false))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View(false)
+	}
+	schema, generated := sim.Stamp()
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion string    `json:"schema_version"`
+		GeneratedAt   string    `json:"generated_at"`
+		Jobs          []JobView `json:"jobs"`
+	}{schema, generated, views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if wantWait(r) && !j.State().Terminal() {
+		if !s.waitForJob(w, r, j) {
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View(true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	j, err := s.m.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View(false))
+}
+
+// waitForJob blocks until the job is terminal or the client goes away.
+// The client counts as a watcher for the duration, so a disconnect can
+// abandon (and thereby cancel) the job. Returns false when the client
+// disconnected (nothing can be written).
+func (s *Server) waitForJob(w http.ResponseWriter, r *http.Request, j *Job) bool {
+	release := s.m.Watch(j)
+	defer release()
+	select {
+	case <-j.Done():
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// handleEvents is the SSE stream: retained history replays first (so a
+// late subscriber still sees queued/running), then live events follow
+// until the job is terminal. The subscriber is a watcher: when the last
+// one disconnects from a non-detached active job, the job is cancelled.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	release := s.m.Watch(j)
+	defer release()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, live, cancel := j.log.subscribe()
+	defer cancel()
+	for _, ev := range history {
+		if ev.WriteSSE(w) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	if live == nil { // already terminal: history is complete
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok { // log closed: terminal event already delivered
+				return
+			}
+			if ev.WriteSSE(w) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ExperimentInfo is one row of the experiment registry listing.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Runs  int    `json:"runs"` // planned simulations at the default scale
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	suite := s.m.suite(s.m.Options().DefaultScale)
+	infos := make([]ExperimentInfo, 0, len(bench.ExperimentIDs))
+	for _, id := range bench.ExperimentIDs {
+		infos = append(infos, ExperimentInfo{
+			ID:    id,
+			Title: bench.ExperimentTitle(id),
+			Runs:  len(suite.Plan(id)),
+		})
+	}
+	schema, generated := sim.Stamp()
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion string           `json:"schema_version"`
+		GeneratedAt   string           `json:"generated_at"`
+		DefaultScale  string           `json:"default_scale"`
+		Scales        []string         `json:"scales"`
+		Experiments   []ExperimentInfo `json:"experiments"`
+	}{schema, generated, s.m.Options().DefaultScale, ScaleNames, infos})
+}
+
+// decodeBody decodes a JSON request body strictly (unknown fields are
+// client errors). An empty body decodes to the zero value.
+func decodeBody(r *http.Request, v any) error {
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}

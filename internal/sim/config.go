@@ -83,6 +83,13 @@ type Config struct {
 	// cycles and emits trace spans (iterations, RnR state machine, DRAM
 	// drains, context switches). Nil costs one pointer compare per Tick.
 	Telemetry *telemetry.Recorder
+
+	// OnIteration, if set, is called each time the SPMD iteration
+	// barrier opens, with the iteration index and the cycle it opened
+	// at. The serving layer (internal/serve) uses it as the source of
+	// live per-phase progress ticks. It runs on the simulation
+	// goroutine: it must be cheap and must not block.
+	OnIteration func(iter int, cycle uint64)
 }
 
 // Baseline returns the paper's Table II machine: 4-core 4 GHz OoO with

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
@@ -262,12 +263,33 @@ func (r *Result) TimelinessBreakdown() Timeliness {
 	return t
 }
 
+// ExportSchemaVersion identifies the shape of every JSON artefact this
+// codebase emits (per-run exports, bench suite exports, rnrd server
+// responses). Bump it when a field changes meaning or is removed;
+// adding fields is backwards-compatible within a version. Cached and
+// served artefacts carry it (with a generation timestamp) so they are
+// self-describing long after the process that wrote them is gone.
+const ExportSchemaVersion = "rnrsim.v1"
+
+// exportNow is stubbed by the envelope golden test.
+var exportNow = time.Now
+
+// Stamp returns the export envelope pair: the schema version and the
+// current generation timestamp (RFC 3339, UTC). Every JSON artefact
+// writer uses it so the fields stay consistent across packages.
+func Stamp() (schemaVersion, generatedAt string) {
+	return ExportSchemaVersion, exportNow().UTC().Format(time.RFC3339)
+}
+
 // ResultJSON is the machine-readable export of a Result: the raw
 // counters plus the derived per-run metrics, so bench trajectories
 // (BENCH_*.json) can be produced without parsing text tables. Metrics
 // that need a baseline (speedup, coverage) are not included; compute
 // them from two exports.
 type ResultJSON struct {
+	SchemaVersion string `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+
 	Config     string `json:"config"`
 	Prefetcher string `json:"prefetcher"`
 	App        string `json:"app"`
@@ -294,29 +316,33 @@ type ResultJSON struct {
 	Check      float64 `json:"check"`
 }
 
-// Export builds the JSON view of the result.
+// Export builds the JSON view of the result, stamped with the export
+// envelope (schema_version + generated_at).
 func (r *Result) Export() ResultJSON {
+	schema, generated := Stamp()
 	return ResultJSON{
-		Config:       r.ConfigName,
-		Prefetcher:   string(r.Prefetcher),
-		App:          r.App,
-		Input:        r.Input,
-		Cycles:       r.Cycles,
-		Instructions: r.Instructions,
-		Iterations:   r.Iterations,
-		IterEnd:      r.IterEnd,
-		IPC:          r.IPC(),
-		L2MPKI:       r.L2MPKI(),
-		Accuracy:     r.Accuracy(),
-		Timeliness:   r.TimelinessBreakdown(),
-		CoreStats:    r.CoreStats,
-		L1:           r.L1,
-		L2:           r.L2,
-		LLC:          r.LLC,
-		DRAM:         r.DRAM,
-		RnR:          r.RnR,
-		InputBytes:   r.InputBytes,
-		Check:        r.Check,
+		SchemaVersion: schema,
+		GeneratedAt:   generated,
+		Config:        r.ConfigName,
+		Prefetcher:    string(r.Prefetcher),
+		App:           r.App,
+		Input:         r.Input,
+		Cycles:        r.Cycles,
+		Instructions:  r.Instructions,
+		Iterations:    r.Iterations,
+		IterEnd:       r.IterEnd,
+		IPC:           r.IPC(),
+		L2MPKI:        r.L2MPKI(),
+		Accuracy:      r.Accuracy(),
+		Timeliness:    r.TimelinessBreakdown(),
+		CoreStats:     r.CoreStats,
+		L1:            r.L1,
+		L2:            r.L2,
+		LLC:           r.LLC,
+		DRAM:          r.DRAM,
+		RnR:           r.RnR,
+		InputBytes:    r.InputBytes,
+		Check:         r.Check,
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rnrsim/internal/apps"
@@ -277,6 +278,9 @@ func (s *System) wireCore(c int) {
 			snap.Add(s.l2s[c].Stats)
 		}
 		s.iterSnaps[iter] = snap
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(int(iter), s.cycle)
+		}
 		if s.tel != nil {
 			// One span per iteration on the "iterations" track, ending
 			// exactly at Result.IterEnd[iter].
@@ -373,25 +377,61 @@ func (s *System) Done() bool {
 
 // Run drives the machine to completion and returns the collected result.
 func Run(cfg Config, app *apps.App) (*Result, error) {
+	return RunContext(context.Background(), cfg, app)
+}
+
+// RunContext is Run with cancellation: the tick loop polls ctx every
+// CancelCheckInterval cycles, so a cancelled simulation stops within one
+// tick batch instead of running to completion.
+func RunContext(ctx context.Context, cfg Config, app *apps.App) (*Result, error) {
 	s, err := New(cfg, app)
 	if err != nil {
 		return nil, err
 	}
-	return s.RunAll()
+	return s.RunAllContext(ctx)
 }
+
+// CancelCheckInterval is the tick-batch granularity at which
+// RunAllContext polls its context: cancellation latency is bounded by
+// one batch of simulated cycles, while the per-cycle hot path stays
+// free of context checks.
+const CancelCheckInterval = 4096
+
+// CounterRunsCancelled names the telemetry.Default counter incremented
+// every time a simulation run is abandoned because its context was
+// cancelled (client disconnect, job timeout, daemon shutdown).
+const CounterRunsCancelled = "sim.runs_cancelled"
+
+var runsCancelled = telemetry.Default.Counter(CounterRunsCancelled)
 
 // RunAll drives an assembled system to completion.
 func (s *System) RunAll() (*Result, error) {
+	return s.RunAllContext(context.Background())
+}
+
+// RunAllContext drives an assembled system to completion, checking ctx
+// every CancelCheckInterval cycles. A cancelled run returns a wrapped
+// ctx error (matching errors.Is against context.Canceled or
+// context.DeadlineExceeded) and increments CounterRunsCancelled.
+func (s *System) RunAllContext(ctx context.Context) (*Result, error) {
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
 	for !s.Done() {
-		if s.cycle >= maxCycles {
-			return nil, fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
-				s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
+		if err := ctx.Err(); err != nil {
+			runsCancelled.Inc()
+			return nil, fmt.Errorf("sim: %s on %s/%s cancelled at cycle %d: %w",
+				s.cfg.Name, s.app.Name, s.app.Input, s.cycle, err)
 		}
-		s.Tick()
+		batchEnd := s.cycle + CancelCheckInterval
+		for !s.Done() && s.cycle < batchEnd {
+			if s.cycle >= maxCycles {
+				return nil, fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
+					s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
+			}
+			s.Tick()
+		}
 	}
 	if s.tel != nil && s.cycle%s.sampleEvery != 0 {
 		s.tel.Sample(s.cycle) // capture the final, post-drain state

@@ -153,6 +153,59 @@ func (r *Registry) Probe(name string, fn Probe) {
 	r.probes = append(r.probes, namedProbe{name, fn})
 }
 
+// Metric is one named instrument value in a Snapshot.
+type Metric struct {
+	Name  string
+	Kind  string // "counter", "gauge" or "probe"
+	Value float64
+}
+
+// Snapshot reads every registered instrument once: probes (polled with
+// cycle) in registration order, then gauges and counters sorted by
+// name. Probes are evaluated outside the registry lock, so a probe may
+// itself touch the registry without deadlocking. Nil-safe; the
+// Prometheus-text /metrics endpoint of the serving layer is built on
+// it.
+func (r *Registry) Snapshot(cycle uint64) []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	probes := make([]namedProbe, len(r.probes))
+	copy(probes, r.probes)
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	gauges := make([]*Gauge, len(gnames))
+	for i, n := range gnames {
+		gauges[i] = r.gauges[n]
+	}
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	counters := make([]*Counter, len(cnames))
+	for i, n := range cnames {
+		counters[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(probes)+len(gauges)+len(counters))
+	for _, p := range probes {
+		out = append(out, Metric{Name: p.name, Kind: "probe", Value: p.fn(cycle)})
+	}
+	for i, g := range gauges {
+		out = append(out, Metric{Name: gnames[i], Kind: "gauge", Value: g.Load()})
+	}
+	for i, c := range counters {
+		out = append(out, Metric{Name: cnames[i], Kind: "counter", Value: float64(c.Load())})
+	}
+	return out
+}
+
 // columns returns the sample-row schema: probes in registration order,
 // then gauges and counters sorted by name (map iteration is not stable).
 func (r *Registry) columns() (names []string, read []func(cycle uint64) float64) {

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +18,7 @@ type FileSource struct {
 	f         *os.File
 	br        *bufio.Reader
 	remaining uint64
+	read      uint64 // records consumed so far
 	err       error
 }
 
@@ -27,10 +29,13 @@ func OpenFile(path string) (*FileSource, error) {
 		return nil, err
 	}
 	br := bufio.NewReaderSize(f, 1<<16)
-	var head [16]byte
+	var head [headerSize]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: short header: %w", ErrBadTrace, err)
 	}
 	if [4]byte(head[0:4]) != magic {
 		f.Close()
@@ -48,16 +53,20 @@ func OpenFile(path string) (*FileSource, error) {
 }
 
 // Next implements Source. The first read error latches and ends the
-// stream; check Err after draining.
+// stream; check Err after draining. A truncated or corrupt file latches
+// a *TruncatedError carrying the failing byte offset and record index
+// (matching io.ErrUnexpectedEOF and ErrBadTrace under errors.Is)
+// instead of surfacing a bare EOF.
 func (s *FileSource) Next() (Record, bool) {
 	if s.err != nil || s.remaining == 0 {
 		return Record{}, false
 	}
-	var buf [32]byte
+	var buf [recordSize]byte
 	if _, err := io.ReadFull(s.br, buf[:]); err != nil {
-		s.err = fmt.Errorf("%w: truncated: %v", ErrBadTrace, err)
+		s.err = truncated(s.read, err)
 		return Record{}, false
 	}
+	s.read++
 	s.remaining--
 	return Record{
 		Kind:   Kind(buf[0]),

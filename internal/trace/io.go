@@ -23,10 +23,52 @@ import (
 
 var magic = [4]byte{'R', 'N', 'R', 'T'}
 
-const formatVersion = 1
+const (
+	formatVersion = 1
+	headerSize    = 16
+	recordSize    = 32
+)
 
 // ErrBadTrace is returned when a trace stream fails validation.
 var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// TruncatedError reports a trace stream that ended before the record
+// count promised by its header was delivered. It carries the byte
+// offset at which the failing read started and the zero-based index of
+// the record being read, so a corrupted multi-gigabyte trace can be
+// diagnosed (and possibly salvaged up to the offset) without re-parsing
+// it. errors.Is matches it against both ErrBadTrace and
+// io.ErrUnexpectedEOF.
+type TruncatedError struct {
+	Offset int64  // byte offset of the failed record read
+	Record uint64 // zero-based index of the record being read
+	Err    error  // underlying read error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("trace: truncated stream at record %d (byte offset %d): %v",
+		e.Record, e.Offset, e.Err)
+}
+
+// Unwrap lets errors.Is(err, ErrBadTrace) and
+// errors.Is(err, io.ErrUnexpectedEOF) both succeed.
+func (e *TruncatedError) Unwrap() []error {
+	return []error{ErrBadTrace, io.ErrUnexpectedEOF}
+}
+
+// truncated builds the TruncatedError for a failed read of record i,
+// normalising a clean io.EOF (the stream ended exactly on a record
+// boundary, but the header promised more) to io.ErrUnexpectedEOF.
+func truncated(i uint64, err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	return &TruncatedError{
+		Offset: headerSize + int64(i)*recordSize,
+		Record: i,
+		Err:    err,
+	}
+}
 
 // Write serialises the records to w in the binary trace format.
 func Write(w io.Writer, recs []Record) error {
@@ -78,7 +120,7 @@ func Read(r io.Reader) ([]Record, error) {
 	var buf [32]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+			return nil, truncated(i, err)
 		}
 		rec := Record{
 			Kind:   Kind(buf[0]),
