@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"rnrsim/internal/apps"
+	"rnrsim/internal/audit"
 	"rnrsim/internal/bench"
 	"rnrsim/internal/telemetry"
 )
@@ -49,6 +50,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "per-run Chrome trace JSON; run key inserted before the extension")
 	sampleInt := flag.Uint64("sample-interval", telemetry.DefaultSampleInterval,
 		"cycles between telemetry samples")
+	auditOn := flag.Bool("audit", false,
+		"attach the correctness auditor to every run: periodic invariant sweeps, any violation fails the run")
+	auditInt := flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
@@ -78,6 +82,9 @@ func main() {
 	suite := bench.NewSuite(sc)
 	suite.ComposeIters = *iters
 	suite.Parallelism = *jobs
+	if *auditOn {
+		suite.Config.Audit = &audit.Config{Interval: *auditInt}
+	}
 	start := time.Now()
 
 	// Progress is invoked from worker goroutines once -j > 1; serialize

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"rnrsim/internal/audit"
 	"rnrsim/internal/serve"
 )
 
@@ -38,17 +39,24 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job lifetime cap, queue wait included (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+		auditOn      = flag.Bool("audit", false,
+			"attach the correctness auditor to every served simulation: periodic invariant sweeps, any violation fails the job instead of caching a corrupt result")
+		auditInt = flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
 	)
 	flag.Parse()
+	var auditCfg *audit.Config
+	if *auditOn {
+		auditCfg = &audit.Config{Interval: *auditInt}
+	}
 	if err := run(*addr, *scale, *workers, *queueDepth, *parallelism,
-		*jobTimeout, *drainTimeout, *quiet); err != nil {
+		*jobTimeout, *drainTimeout, *quiet, auditCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rnrd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, workers, queueDepth, parallelism int,
-	jobTimeout, drainTimeout time.Duration, quiet bool) error {
+	jobTimeout, drainTimeout time.Duration, quiet bool, auditCfg *audit.Config) error {
 	if _, ok := serve.ParseScale(scale); !ok {
 		return fmt.Errorf("unknown scale %q (have %v)", scale, serve.ScaleNames)
 	}
@@ -62,6 +70,7 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 		Workers:      workers,
 		JobTimeout:   jobTimeout,
 		Parallelism:  parallelism,
+		Audit:        auditCfg,
 		Logf:         logf,
 	})
 

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"rnrsim/internal/apps"
+	"rnrsim/internal/audit"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/sim"
 	"rnrsim/internal/telemetry"
@@ -55,6 +56,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
 	sampleInt := flag.Uint64("sample-interval", telemetry.DefaultSampleInterval,
 		"cycles between telemetry samples")
+	auditOn := flag.Bool("audit", false,
+		"attach the correctness auditor: sweep every component's invariants periodically and fail the run on any violation")
+	auditInt := flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
@@ -108,6 +112,9 @@ func main() {
 		cfg.Prefetcher = pf
 		cfg.RnRWindow = *window
 		cfg.RnRControl = ctl
+		if *auditOn {
+			cfg.Audit = &audit.Config{Interval: *auditInt}
+		}
 		return cfg
 	}
 	base, err := sim.Run(mk(sim.PFNone), app)

@@ -1,0 +1,79 @@
+package audit
+
+// FNV-1a, 64-bit. The architectural state hasher folds every word of
+// simulator state (cache tags and LRU words, DRAM queues and bank
+// registers, RnR registers and statistics) into one 64-bit digest that
+// the differential tests compare across execution paths (serial, -j N,
+// rnrd-served). FNV-1a is used for the same reasons the Go runtime
+// uses it for map seeds: trivial, allocation-free and byte-order
+// independent, with good enough dispersion that a single swapped
+// counter flips the digest.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Hash is an incremental FNV-1a 64-bit hasher. The zero value is NOT
+// ready to use; construct with NewHash.
+type Hash struct {
+	h uint64
+}
+
+// NewHash returns a hasher at the FNV-1a offset basis.
+func NewHash() *Hash { return &Hash{h: fnvOffset64} }
+
+// Byte folds one byte.
+func (h *Hash) Byte(b byte) {
+	h.h = (h.h ^ uint64(b)) * fnvPrime64
+}
+
+// U64 folds one 64-bit word, little-endian byte order.
+func (h *Hash) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.Byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int folds a signed integer (sign-extended through int64, so negative
+// register values hash distinctly from their magnitudes).
+func (h *Hash) Int(v int) { h.U64(uint64(int64(v))) }
+
+// Bool folds a flag.
+func (h *Hash) Bool(v bool) {
+	if v {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+}
+
+// Str folds a string's bytes with a length prefix (so "ab","c" and
+// "a","bc" hash differently).
+func (h *Hash) Str(s string) {
+	h.U64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Sum returns the current digest. The hasher remains usable.
+func (h *Hash) Sum() uint64 { return h.h }
+
+// Mix returns the U64 method as a free function, the shape the
+// component HashState hooks accept (func(uint64)) so they need no
+// audit import.
+func (h *Hash) Mix() func(uint64) { return h.U64 }
+
+// HashWords is a convenience one-shot digest over a word sequence,
+// used for order-independent map hashing: hash each entry's words
+// with HashWords and XOR the digests, then fold the XOR into the
+// parent hasher. XOR of per-entry digests is commutative, so Go's
+// randomised map iteration order cannot perturb the state hash.
+func HashWords(words ...uint64) uint64 {
+	h := NewHash()
+	for _, w := range words {
+		h.U64(w)
+	}
+	return h.Sum()
+}

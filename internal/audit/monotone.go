@@ -1,0 +1,64 @@
+package audit
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Monotone watches a flat statistics struct (exported uint64 fields,
+// the shape of rnr.Stats, cache.Stats and dram.Stats) and reports any
+// field whose value decreases between sweeps. Simulator statistics are
+// cumulative counters; a decrease means double-accounting was
+// "corrected" by subtraction somewhere, which is exactly the silent
+// corruption class the ISSUE calls out.
+//
+// The watcher uses reflection once per sweep, which is fine at audit
+// cadence (default every 1024 cycles) and free when auditing is off.
+type Monotone struct {
+	prev   map[string]uint64
+	except map[string]bool
+}
+
+// NewMonotone builds an empty watcher; the first Check call only
+// records a baseline. Fields named in except are treated as gauges and
+// skipped (e.g. rnr.Stats.SeqTableBytes, which is recomputed from the
+// live table at each record finalization rather than accumulated).
+func NewMonotone(except ...string) *Monotone {
+	m := &Monotone{prev: make(map[string]uint64)}
+	if len(except) > 0 {
+		m.except = make(map[string]bool, len(except))
+		for _, name := range except {
+			m.except[name] = true
+		}
+	}
+	return m
+}
+
+// Check compares every exported uint64 field of stats (a struct or
+// pointer to struct) against the previous sweep and reports
+// "<field> decreased: <old> -> <new>" for each regression. Non-uint64
+// and unexported fields are ignored.
+func (m *Monotone) Check(stats any, report func(law string)) {
+	v := reflect.ValueOf(stats)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return
+	}
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Uint64 || m.except[f.Name] {
+			continue
+		}
+		cur := v.Field(i).Uint()
+		if old, ok := m.prev[f.Name]; ok && cur < old {
+			report(fmt.Sprintf("counter %s decreased: %d -> %d", f.Name, old, cur))
+		}
+		m.prev[f.Name] = cur
+	}
+}

@@ -136,7 +136,11 @@ type Cache struct {
 	writeQ   reqRing
 	mshrs    map[mem.Addr]*mshr
 	unsent   []*mshr // MSHRs whose child could not be enqueued below yet
-	Stats    Stats
+	// mshrAllocs counts every MSHR ever allocated; the audit layer checks
+	// the conservation law mshrAllocs == MissServiceCnt + len(mshrs)
+	// (every miss is either filled or still in flight).
+	mshrAllocs uint64
+	Stats      Stats
 	OnAccess func(AccessInfo)
 	OnFill   func(line mem.Addr, prefetch bool, cycle uint64)
 	OnEvict  func(line mem.Addr, wasPrefetchedUnused bool, cycle uint64)
@@ -388,6 +392,7 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 	child.Done = func(cycle uint64) { c.fill(m, cycle) }
 	m.child = child
 	c.mshrs[r.Line] = m
+	c.mshrAllocs++
 	if c.lower == nil || c.lower.TryEnqueue(child) {
 		m.sent = c.lower != nil
 		if c.lower == nil {

@@ -109,6 +109,10 @@ type Controller struct {
 	lastWrite []bool   // per channel: direction of last transfer, for turnaround
 	draining  bool
 	burstLeft int // writes remaining in the current drain burst
+	// doneReads counts read transactions whose data transfer finished;
+	// the audit layer checks Stats.Reads == doneReads + len(inService)
+	// (every issued read is either delivered or still on the bus).
+	doneReads uint64
 	Stats     Stats
 
 	// Tel, when set, receives a span per write-drain episode (the
@@ -215,6 +219,7 @@ func (c *Controller) complete(now uint64) {
 	kept := c.inService[:0]
 	for _, p := range c.inService {
 		if p.finish <= now {
+			c.doneReads++
 			p.req.Complete(now)
 		} else {
 			kept = append(kept, p)

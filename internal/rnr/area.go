@@ -119,7 +119,16 @@ func (e *Engine) Restore(s SavedState) {
 	if e.fetchedIdx < 0 {
 		e.fetchedIdx = 0
 	}
+	// Orphan any metadata reads still in flight from before the switch:
+	// without the generation bump their completions would land after the
+	// restore, driving metaInFly negative and advancing fetchedIdx over
+	// lines that were never re-read (flushed out by the audit invariant
+	// 0 <= metaInFly <= 4). The issue cursors restart at the refill
+	// point for the same reason.
+	e.metaGen++
+	e.metaIssued = e.fetchedIdx
 	e.metaInFly = 0
 	e.divFetched = 0
+	e.divIssued = 0
 	e.divInFly = 0
 }

@@ -1,0 +1,227 @@
+package rnr
+
+import (
+	"fmt"
+	"sort"
+
+	"rnrsim/internal/mem"
+)
+
+// Audit hooks. The shapes (report func(law string) and mix func(uint64))
+// are chosen so this package needs no audit import (internal/audit's
+// fuzzer imports rnr, so the dependency must point this way only);
+// internal/sim adapts them onto the audit.Checker and audit.Hash.
+
+// Auditor validates one engine's invariants across sweeps. It keeps the
+// previous sweep's registers so it can check temporal laws (Cur Window
+// monotone within one replay episode) as well as instantaneous ones.
+type Auditor struct {
+	e           *Engine
+	seeded      bool
+	prevState   State
+	prevWindow  int
+	prevReplays uint64
+	prevPauses  uint64
+}
+
+// NewAuditor returns an invariant auditor bound to the engine.
+func (e *Engine) NewAuditor() *Auditor { return &Auditor{e: e} }
+
+// Check sweeps the engine's invariants once.
+func (a *Auditor) Check(report func(law string)) {
+	e := a.e
+	s := &e.Stats
+
+	// Replay cursor geometry. nextIdx may legitimately run ahead of
+	// fetchedIdx transiently never — the issue loop stops at fetchedIdx —
+	// but skip-ahead after a stall moves it past fetched metadata, so
+	// only the table bound is a law.
+	if e.nextIdx < 0 || e.nextIdx > len(e.seq) {
+		report(fmt.Sprintf("seq cursor nextIdx %d outside table [0,%d]", e.nextIdx, len(e.seq)))
+	}
+	if e.fetchedIdx < 0 || e.fetchedIdx > len(e.seq) {
+		report(fmt.Sprintf("fetchedIdx %d outside table [0,%d]", e.fetchedIdx, len(e.seq)))
+	}
+	// With a metadata path, completions can never outrun issues. (In
+	// unit-test mode meta is nil and fetchedIdx jumps straight to the
+	// table end without issuing reads, so the lower bound only holds on
+	// the real path.)
+	if e.metaIssued > len(e.seq) || (e.meta != nil && e.metaIssued < e.fetchedIdx) {
+		report(fmt.Sprintf("metaIssued %d outside [fetchedIdx %d, len(seq) %d]",
+			e.metaIssued, e.fetchedIdx, len(e.seq)))
+	}
+	if e.metaInFly < 0 || e.metaInFly > 4 {
+		report(fmt.Sprintf("metaInFly %d outside credit range [0,4]", e.metaInFly))
+	}
+	if e.divInFly < 0 || e.divInFly > 2 {
+		report(fmt.Sprintf("divInFly %d outside credit range [0,2]", e.divInFly))
+	}
+	if e.divFetched < 0 || e.divFetched > len(e.div) {
+		report(fmt.Sprintf("divFetched %d outside table [0,%d]", e.divFetched, len(e.div)))
+	}
+	if e.divIssued > len(e.div) || (e.meta != nil && e.divIssued < e.divFetched) {
+		report(fmt.Sprintf("divIssued %d outside [divFetched %d, len(div) %d]",
+			e.divIssued, e.divFetched, len(e.div)))
+	}
+	if e.curWindow < 0 || e.curWindow > len(e.div) {
+		report(fmt.Sprintf("curWindow %d outside division table [0,%d]", e.curWindow, len(e.div)))
+	}
+	if e.windowReads > e.curStructRead {
+		report(fmt.Sprintf("windowReads %d ahead of curStructRead %d", e.windowReads, e.curStructRead))
+	}
+
+	// Record-side bookkeeping: buffers flush at line granularity, tables
+	// never exceed the programmer-declared capacity, and the cumulative
+	// counters bound the live tables (they survive table resets).
+	if e.seqBufCount < 0 || e.seqBufCount >= mem.LineSize/SeqEntryBytes {
+		report(fmt.Sprintf("seqBufCount %d outside [0,%d)", e.seqBufCount, mem.LineSize/SeqEntryBytes))
+	}
+	if e.divBufCount < 0 || e.divBufCount >= mem.LineSize/DivEntryBytes {
+		report(fmt.Sprintf("divBufCount %d outside [0,%d)", e.divBufCount, mem.LineSize/DivEntryBytes))
+	}
+	if uint64(len(e.seq)) > e.Arch.SeqTableCap {
+		report(fmt.Sprintf("sequence table %d entries exceeds capacity %d", len(e.seq), e.Arch.SeqTableCap))
+	}
+	if uint64(len(e.div)) > e.Arch.DivTableCap {
+		report(fmt.Sprintf("division table %d entries exceeds capacity %d", len(e.div), e.Arch.DivTableCap))
+	}
+	if uint64(len(e.seq)) > s.RecordedEntries {
+		report(fmt.Sprintf("live sequence table %d exceeds cumulative RecordedEntries %d",
+			len(e.seq), s.RecordedEntries))
+	}
+	if uint64(len(e.div)) > s.RecordedWindows {
+		report(fmt.Sprintf("live division table %d exceeds cumulative RecordedWindows %d",
+			len(e.div), s.RecordedWindows))
+	}
+
+	// The division table stores cumulative struct-read counts, so it is
+	// monotone non-decreasing by construction.
+	for i := 1; i < len(e.div); i++ {
+		if e.div[i] < e.div[i-1] {
+			report(fmt.Sprintf("division table not cumulative: div[%d]=%d < div[%d]=%d",
+				i, e.div[i], i-1, e.div[i-1]))
+			break
+		}
+	}
+
+	// Footprint stats are finalized when recording ends, so during replay
+	// they must agree exactly with the live tables.
+	if e.Arch.State == StateReplay || e.Arch.State == StatePausedReplay {
+		if s.SeqTableBytes != uint64(len(e.seq))*SeqEntryBytes {
+			report(fmt.Sprintf("SeqTableBytes %d != %d entries * %d",
+				s.SeqTableBytes, len(e.seq), SeqEntryBytes))
+		}
+		if s.DivTableBytes != uint64(len(e.div))*DivEntryBytes {
+			report(fmt.Sprintf("DivTableBytes %d != %d entries * %d",
+				s.DivTableBytes, len(e.div), DivEntryBytes))
+		}
+	}
+
+	// Prefetch classification: early and out-of-window are disjoint
+	// subsets of issued replay prefetches.
+	if s.EarlyPrefetches+s.OutOfWindow > s.Prefetches {
+		report(fmt.Sprintf("classification: early %d + out-of-window %d > prefetches %d",
+			s.EarlyPrefetches, s.OutOfWindow, s.Prefetches))
+	}
+
+	// Cur Window is monotone within one replay episode: it may only
+	// rewind through an explicit reset (MarkReplay bumps Replays,
+	// context-switch restore goes through MarkPause/Resume which bump
+	// Pauses), never silently.
+	if a.seeded &&
+		a.prevState == StateReplay && e.Arch.State == StateReplay &&
+		a.prevReplays == s.Replays && a.prevPauses == s.Pauses &&
+		e.curWindow < a.prevWindow {
+		report(fmt.Sprintf("curWindow rewound %d -> %d within one replay episode",
+			a.prevWindow, e.curWindow))
+	}
+	a.seeded = true
+	a.prevState = e.Arch.State
+	a.prevWindow = e.curWindow
+	a.prevReplays = s.Replays
+	a.prevPauses = s.Pauses
+}
+
+// HashState folds the engine's complete architectural state — the §IV-A
+// registers, the recorded metadata tables, every replay/record register
+// and the statistics — into the caller's hasher. The shadow maps are
+// hashed in sorted order so Go's randomized map iteration cannot
+// perturb the digest.
+func (e *Engine) HashState(mix func(uint64)) {
+	a := &e.Arch
+	mix(a.ASID)
+	for i := range a.Bounds {
+		b := &a.Bounds[i]
+		mix(uint64(b.Base))
+		mix(b.Size)
+		mix(rnrBoolWord(b.Enabled)<<1 | rnrBoolWord(b.Valid))
+	}
+	mix(uint64(a.SeqTableBase))
+	mix(a.SeqTableCap)
+	mix(uint64(a.DivTableBase))
+	mix(a.DivTableCap)
+	mix(a.WindowSize)
+	mix(uint64(a.State))
+
+	mix(uint64(len(e.seq)))
+	for _, entry := range e.seq {
+		mix(uint64(entry))
+	}
+	mix(uint64(len(e.div)))
+	for _, d := range e.div {
+		mix(d)
+	}
+
+	mix(e.curStructRead)
+	mix(uint64(int64(e.seqBufCount)))
+	mix(uint64(int64(e.divBufCount)))
+	mix(uint64(e.lastSeqPage))
+	mix(uint64(e.lastDivPage))
+	mix(uint64(int64(e.nextIdx)))
+	mix(uint64(int64(e.fetchedIdx)))
+	mix(uint64(int64(e.metaIssued)))
+	mix(uint64(int64(e.metaInFly)))
+	mix(e.metaGen)
+	mix(uint64(int64(e.divFetched)))
+	mix(uint64(int64(e.divIssued)))
+	mix(uint64(int64(e.divInFly)))
+	mix(uint64(int64(e.curWindow)))
+	mix(uint64(e.retryLine))
+	mix(rnrBoolWord(e.retryValid))
+	mix(e.windowReads)
+
+	hashAddrMap(e.track, func(line mem.Addr) uint64 { return uint64(e.track[line]) }, mix)
+	hashAddrMap(e.issuedThisIter, func(mem.Addr) uint64 { return 1 }, mix)
+
+	s := &e.Stats
+	for _, v := range []uint64{
+		s.StructReads, s.RecordedEntries, s.RecordedWindows, s.SeqOverflows,
+		s.MetaWriteLines, s.MetaReadLines, s.TLBLookups, s.Prefetches,
+		s.Replays, s.Pauses, s.Resumes, s.EarlyPrefetches, s.OutOfWindow,
+		s.SeqTableBytes, s.DivTableBytes,
+		s.ReplayStructMisses, s.ReplayMissesCovered, s.SkippedEntries,
+	} {
+		mix(v)
+	}
+}
+
+// hashAddrMap folds an address-keyed map in sorted key order.
+func hashAddrMap[V any](m map[mem.Addr]V, val func(mem.Addr) uint64, mix func(uint64)) {
+	keys := make([]mem.Addr, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	mix(uint64(len(keys)))
+	for _, k := range keys {
+		mix(uint64(k))
+		mix(val(k))
+	}
+}
+
+func rnrBoolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

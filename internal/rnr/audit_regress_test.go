@@ -1,0 +1,114 @@
+package rnr
+
+import (
+	"testing"
+
+	"rnrsim/internal/mem"
+	"rnrsim/internal/trace"
+)
+
+// collectViolations runs one auditor sweep and returns what it reported.
+func collectViolations(a *Auditor) []string {
+	var out []string
+	a.Check(func(law string) { out = append(out, law) })
+	return out
+}
+
+// TestSkipAheadClampsAtTableEnd is the regression for the replay
+// skip-ahead overrun: the last recorded window is usually partial, so
+// when Cur Window advances past it, curWindow*WindowSize points beyond
+// the sequence table. The unclamped skip pushed nextIdx past len(seq)
+// and credited SkippedEntries for phantom entries that were never
+// recorded (flushed out by the audit invariant nextIdx <= len(seq)).
+func TestSkipAheadClampsAtTableEnd(t *testing.T) {
+	base := mem.Addr(0x10000)
+	// 5 entries, window 2: windows {0,1}, {2,3}, {4} — the last is
+	// partial. div (cumulative reads) = [2, 4, 5].
+	e, c := recordAndReplay(t, base, 2, []uint64{0, 1, 2, 3, 4})
+	e.Control = WindowControl
+	if len(e.seq) != 5 || len(e.div) != 3 {
+		t.Fatalf("recorded %d entries in %d windows, want 5 in 3", len(e.seq), len(e.div))
+	}
+
+	// The program races ahead: all 5 struct reads land before the
+	// replay engine issues anything, so Cur Window advances past the
+	// partial last window (curWindow == len(div) == 3).
+	for i := 0; i < 5; i++ {
+		r := mem.NewRequest(mem.ReqLoad, base, 1, 0, 0)
+		e.PreAccess(r)
+	}
+	a := e.NewAuditor()
+	e.OnCycle(0, c.issue)
+
+	if e.curWindow != 3 {
+		t.Fatalf("curWindow = %d, want 3 (past the partial window)", e.curWindow)
+	}
+	// The skip must stop at the table end: 3*2 = 6 > 5 entries.
+	if e.nextIdx != len(e.seq) {
+		t.Errorf("nextIdx = %d, want clamped to len(seq) = %d", e.nextIdx, len(e.seq))
+	}
+	if e.Stats.SkippedEntries != 5 {
+		t.Errorf("SkippedEntries = %d, want 5 (no phantom entries)", e.Stats.SkippedEntries)
+	}
+	if len(c.lines) != 0 {
+		t.Errorf("issued %d prefetches for fully-consumed windows", len(c.lines))
+	}
+	if v := collectViolations(a); len(v) > 0 {
+		t.Errorf("auditor reported: %v", v)
+	}
+}
+
+// TestRestoreOrphansInFlightMetadata is the regression for the
+// context-switch restore bug: metadata reads issued before the switch
+// completed *after* Restore, and without a generation bump their
+// completions decremented metaInFly below zero and advanced fetchedIdx
+// over lines that were never re-read (flushed out by the audit
+// invariant 0 <= metaInFly <= 4).
+func TestRestoreOrphansInFlightMetadata(t *testing.T) {
+	mb := &metaBackend{latency: 100}
+	e := buildRecorded(t, mb, 64, 4)
+	e.Control = NoControl
+	c := &replayCollector{}
+
+	// Let the streamer put the full four line reads in flight.
+	for cy := uint64(0); cy < 4; cy++ {
+		e.OnCycle(cy, c.issue)
+		mb.Tick(cy)
+	}
+	if e.metaInFly != 4 {
+		t.Fatalf("metaInFly = %d before the switch, want 4", e.metaInFly)
+	}
+
+	// OS context switch: pause, save, restore, resume.
+	e.HandleMarker(trace.Mark(trace.MarkPause, 0, 0, 0), 5)
+	saved := e.Save()
+	e.Restore(saved)
+	e.HandleMarker(trace.Mark(trace.MarkResume, 0, 0, 0), 6)
+
+	// The pre-switch reads now complete. Their Done closures carry the
+	// old generation and must be ignored.
+	a := e.NewAuditor()
+	mb.Tick(200)
+	if e.metaInFly != 0 {
+		t.Errorf("metaInFly = %d after stale completions, want 0", e.metaInFly)
+	}
+	if e.fetchedIdx != 0 {
+		t.Errorf("fetchedIdx = %d advanced by stale completions, want 0", e.fetchedIdx)
+	}
+	if v := collectViolations(a); len(v) > 0 {
+		t.Errorf("auditor reported: %v", v)
+	}
+
+	// Replay still completes: fresh reads re-fetch the buffers and all
+	// 64 recorded lines issue.
+	for cy := uint64(201); cy < 20_000 && len(c.lines) < 64; cy++ {
+		e.OnCycle(cy, c.issue)
+		mb.Tick(cy)
+	}
+	if len(c.lines) != 64 {
+		t.Fatalf("replay after restore issued %d prefetches, want 64", len(c.lines))
+	}
+	if v := collectViolations(a); len(v) > 0 {
+		t.Errorf("auditor reported after drain: %v", v)
+	}
+}

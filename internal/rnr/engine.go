@@ -28,7 +28,7 @@ const (
 var controlNames = [...]string{"nocontrol", "window", "window+pace"}
 
 func (t TimingControl) String() string {
-	if int(t) < len(controlNames) {
+	if int(t) >= 0 && int(t) < len(controlNames) {
 		return controlNames[t]
 	}
 	return "control(?)"
@@ -479,6 +479,16 @@ func (e *Engine) OnCycle(cycle uint64, issue prefetch.IssueFunc) {
 			w := e.nextIdx / int(e.Arch.WindowSize)
 			if w < e.curWindow {
 				skipTo := e.curWindow * int(e.Arch.WindowSize)
+				// The last recorded window is usually partial, so Cur
+				// Window can sit one past it and curWindow*W then points
+				// beyond the table. Clamp before skipping: the unclamped
+				// value pushed nextIdx past len(seq) and credited
+				// SkippedEntries for phantom entries that were never
+				// recorded (flushed out by the audit invariant
+				// nextIdx <= len(seq)).
+				if skipTo > len(e.seq) {
+					skipTo = len(e.seq)
+				}
 				e.Stats.SkippedEntries += uint64(skipTo - e.nextIdx)
 				e.nextIdx = skipTo
 				if e.nextIdx >= len(e.seq) || e.nextIdx >= e.fetchedIdx {

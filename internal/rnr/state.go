@@ -35,7 +35,7 @@ const (
 var stateNames = [...]string{"idle", "record", "replay", "paused-record", "paused-replay"}
 
 func (s State) String() string {
-	if int(s) < len(stateNames) {
+	if int(s) >= 0 && int(s) < len(stateNames) {
 		return stateNames[s]
 	}
 	return fmt.Sprintf("state(%d)", uint8(s))

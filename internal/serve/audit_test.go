@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/audit"
+	"rnrsim/internal/bench"
+	"rnrsim/internal/sim"
+)
+
+// directResult runs the spec's simulation through a fresh private
+// bench.Suite at test scale, bypassing the daemon entirely. It keeps
+// NewSuite's default machine, exactly as Manager.suiteLocked does.
+func directResult(t *testing.T, workload, input string, pf sim.PrefetcherKind) *sim.Result {
+	t.Helper()
+	s := bench.NewSuite(apps.ScaleTest)
+	return s.Run(workload, input, pf, bench.Variant{})
+}
+
+// fetchServedExport submits the spec with wait=1 and decodes the job's
+// result payload as a sim.ResultJSON export.
+func fetchServedExport(t *testing.T, url string, spec RunSpec) sim.ResultJSON {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/runs?wait=1", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d, want 200", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.State != StateDone || len(v.Result) == 0 {
+		t.Fatalf("job = {state %q, result %d bytes}", v.State, len(v.Result))
+	}
+	var doc sim.ResultJSON
+	if err := json.Unmarshal(v.Result, &doc); err != nil {
+		t.Fatalf("decode result payload: %v", err)
+	}
+	return doc
+}
+
+// TestServedStateHashMatchesDirect is the rnrd leg of the differential
+// acceptance check: a run served over HTTP by the daemon must carry the
+// same architectural state hash as the same run simulated directly —
+// the serving stack (queue, workers, memoisation, JSON round trip) must
+// not perturb the machine.
+func TestServedStateHashMatchesDirect(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 2})
+	for _, pf := range []sim.PrefetcherKind{sim.PFNone, sim.PFRnR} {
+		spec := RunSpec{Workload: "pagerank", Input: "urand", Prefetcher: string(pf), Scale: "test"}
+		served := fetchServedExport(t, ts.URL, spec)
+		want := directResult(t, spec.Workload, spec.Input, pf)
+		wantHex := want.Export().StateHash
+		if served.StateHash != wantHex {
+			t.Errorf("%s: served state_hash %q != direct %q", pf, served.StateHash, wantHex)
+		}
+		if served.Cycles != want.Cycles {
+			t.Errorf("%s: served cycles %d != direct %d", pf, served.Cycles, want.Cycles)
+		}
+	}
+}
+
+// TestServedAuditOption pins that Options.Audit reaches the simulations
+// the daemon runs: an audited daemon serves the same result bytes as an
+// unaudited one.
+func TestServedAuditOption(t *testing.T) {
+	audited, _ := newTestServer(t, Options{Workers: 1, Audit: &audit.Config{Interval: 512}})
+	plain, _ := newTestServer(t, Options{Workers: 1})
+
+	spec := testSpec()
+	a := fetchServedExport(t, audited.URL, spec)
+	b := fetchServedExport(t, plain.URL, spec)
+	if a.StateHash != b.StateHash || a.Cycles != b.Cycles {
+		t.Errorf("audited daemon diverged: hash %q/%q, cycles %d/%d",
+			a.StateHash, b.StateHash, a.Cycles, b.Cycles)
+	}
+}

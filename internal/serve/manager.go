@@ -11,6 +11,7 @@ import (
 
 	"sync"
 
+	"rnrsim/internal/audit"
 	"rnrsim/internal/bench"
 	"rnrsim/internal/sim"
 	"rnrsim/internal/telemetry"
@@ -64,6 +65,13 @@ type Options struct {
 	// Parallelism is handed to each bench.Suite (the width of
 	// experiment prewarms). 0 means GOMAXPROCS.
 	Parallelism int
+	// Audit, when non-nil, attaches the correctness auditor
+	// (internal/audit) to every simulation the daemon runs: each
+	// per-scale suite propagates it into sim.Config.Audit, so every
+	// served run is swept for invariant violations and fails loudly
+	// instead of caching a corrupted result. Nil (the default) serves
+	// unaudited runs.
+	Audit *audit.Config
 	// Registry receives the manager's counters and gauges. Default
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -174,6 +182,7 @@ func (m *Manager) suiteLocked(scale string) *bench.Suite {
 	sc, _ := ParseScale(scale)
 	s := bench.NewSuite(sc)
 	s.Parallelism = m.opts.Parallelism
+	s.Config.Audit = m.opts.Audit
 	logf := m.opts.Logf
 	s.Progress = func(key string) { logf("simulating %s/%s", scale, key) }
 	s.OnRunDone = func(key string, elapsed time.Duration) {

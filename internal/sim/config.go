@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"rnrsim/internal/audit"
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
@@ -76,6 +77,13 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations; 0 = a generous default.
 	MaxCycles uint64
+
+	// Audit, when non-nil, attaches the correctness layer: an invariant
+	// checker sweeps every component's conservation laws every
+	// Audit.EffectiveInterval() cycles (plus once after the run drains)
+	// and any violation fails the run with the cycle, component and law.
+	// Nil costs one pointer compare per Tick, like Telemetry.
+	Audit *audit.Config
 
 	// Telemetry, when non-nil, attaches the observability layer: every
 	// component registers its probes into the recorder at construction,

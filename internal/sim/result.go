@@ -34,6 +34,17 @@ type Result struct {
 
 	InputBytes uint64
 	Check      float64
+
+	// StateHash is an FNV-1a digest of the complete architectural state
+	// of the machine after the run drains: core ROB/LSQ registers, cache
+	// tag arrays with LRU and dirty state, queues and MSHRs, the DRAM
+	// controller's banks, and the RnR engines' registers, metadata
+	// tables and statistics. Two runs of the same (config, app, input)
+	// must produce the same hash regardless of how they were driven —
+	// serial, through the parallel bench engine, or served by rnrd — and
+	// regardless of whether auditing or telemetry was attached. The
+	// differential tests in audit_system_test.go pin that equivalence.
+	StateHash uint64
 }
 
 // IPC returns aggregate retired instructions per wall cycle.
@@ -314,6 +325,11 @@ type ResultJSON struct {
 
 	InputBytes uint64  `json:"input_bytes"`
 	Check      float64 `json:"check"`
+
+	// StateHash is Result.StateHash as a 16-digit hex string: JSON
+	// numbers lose precision past 2^53, and the hash needs all 64 bits
+	// to be comparable across exports.
+	StateHash string `json:"state_hash"`
 }
 
 // Export builds the JSON view of the result, stamped with the export
@@ -343,6 +359,7 @@ func (r *Result) Export() ResultJSON {
 		RnR:           r.RnR,
 		InputBytes:    r.InputBytes,
 		Check:         r.Check,
+		StateHash:     fmt.Sprintf("%016x", r.StateHash),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rnrsim/internal/apps"
+	"rnrsim/internal/audit"
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
@@ -45,6 +46,11 @@ type System struct {
 	tel         *telemetry.Recorder
 	sampleEvery uint64
 	lastIterEnd uint64
+
+	// Audit (nil = disabled; same one-pointer-compare fast path). See
+	// internal/audit and registerAudit.
+	aud        *audit.Checker
+	auditEvery uint64
 
 	// Tick fast-path gates, fixed at construction: ctxOn skips the
 	// context-switch state machine when injection is disabled, and
@@ -148,6 +154,7 @@ func New(cfg Config, app *apps.App) (*System, error) {
 		s.wireCore(c)
 	}
 	s.registerTelemetry()
+	s.registerAudit()
 	return s, nil
 }
 
@@ -268,16 +275,25 @@ func (s *System) wireCore(c int) {
 	core.Gate = func() bool { return !s.barrier.gated(c) }
 	s.barrier.done = func(core int) bool { return s.cores[core].Done() }
 	s.barrier.onOpen = func(iter int32) {
-		for int(iter) >= len(s.iterEnd) {
-			s.iterEnd = append(s.iterEnd, 0)
-			s.iterSnaps = append(s.iterSnaps, cache.Stats{})
+		// The iteration tables are indexed by the trace's iteration
+		// number; a corrupt or adversarial trace (the fuzzer emits
+		// MarkIterEnd with Aux around 2^20) must not be able to grow
+		// them without bound — each slot carries a cache.Stats snapshot,
+		// so an unchecked append was an OOM (found by fuzzing). Real
+		// workloads run a few dozen iterations; past the cap the barrier
+		// still opens, only the bookkeeping is dropped.
+		if int(iter) < maxTrackedIterations {
+			for int(iter) >= len(s.iterEnd) {
+				s.iterEnd = append(s.iterEnd, 0)
+				s.iterSnaps = append(s.iterSnaps, cache.Stats{})
+			}
+			s.iterEnd[iter] = s.cycle
+			var snap cache.Stats
+			for c := range s.l2s {
+				snap.Add(s.l2s[c].Stats)
+			}
+			s.iterSnaps[iter] = snap
 		}
-		s.iterEnd[iter] = s.cycle
-		var snap cache.Stats
-		for c := range s.l2s {
-			snap.Add(s.l2s[c].Stats)
-		}
-		s.iterSnaps[iter] = snap
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(int(iter), s.cycle)
 		}
@@ -354,6 +370,9 @@ func (s *System) Tick() {
 	if s.tel != nil && now%s.sampleEvery == 0 {
 		s.tel.Sample(now)
 	}
+	if s.aud != nil && now%s.auditEvery == 0 {
+		s.aud.Check(now)
+	}
 }
 
 // Done reports whether every core has drained and the memory system is
@@ -397,6 +416,17 @@ func RunContext(ctx context.Context, cfg Config, app *apps.App) (*Result, error)
 // free of context checks.
 const CancelCheckInterval = 4096
 
+// maxTrackedIterations bounds the per-iteration bookkeeping (IterEnd
+// cycle stamps and cumulative L2 snapshots). A hostile or fuzzed trace
+// can mark an iteration index of any size (MarkIterEnd carries it in
+// Aux); without a cap the barrier would allocate slices sized by that
+// index and an adversarial 2^40 index is an instant OOM. 2^16
+// iterations is far beyond any real workload (the paper's evaluation
+// composes ~100) and keeps the worst-case bookkeeping near 9 MB.
+// Iterations past the cap still open the barrier, fire OnIteration and
+// emit telemetry spans; only the per-iteration statistics are dropped.
+const maxTrackedIterations = 1 << 16
+
 // CounterRunsCancelled names the telemetry.Default counter incremented
 // every time a simulation run is abandoned because its context was
 // cancelled (client disconnect, job timeout, daemon shutdown).
@@ -432,9 +462,24 @@ func (s *System) RunAllContext(ctx context.Context) (*Result, error) {
 			}
 			s.Tick()
 		}
+		// FailFast aborts at tick-batch boundaries, so a violating run
+		// stops within one batch of the failing sweep.
+		if s.aud != nil && s.aud.FailFast() {
+			if err := s.aud.Err(); err != nil {
+				return nil, fmt.Errorf("sim: %s on %s/%s: %w",
+					s.cfg.Name, s.app.Name, s.app.Input, err)
+			}
+		}
 	}
 	if s.tel != nil && s.cycle%s.sampleEvery != 0 {
 		s.tel.Sample(s.cycle) // capture the final, post-drain state
+	}
+	if s.aud != nil {
+		s.aud.Check(s.cycle) // one final sweep over the drained machine
+		if err := s.aud.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s on %s/%s: %w",
+				s.cfg.Name, s.app.Name, s.app.Input, err)
+		}
 	}
 	return s.collect(), nil
 }
@@ -467,6 +512,7 @@ func (s *System) collect() *Result {
 		DRAM:       s.mc.Stats,
 		InputBytes: s.app.InputBytes,
 		Check:      s.app.Check,
+		StateHash:  s.stateHash(),
 	}
 	for c := range s.cores {
 		st := s.cores[c].Stats

@@ -1,0 +1,89 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"rnrsim/internal/mem"
+	"rnrsim/internal/rnr"
+	"rnrsim/internal/trace"
+)
+
+// TestEnumStringTotal is the shared table-driven test for every enum
+// String() method in the simulator: the methods must be total — defined
+// for every representable value, including negative ones (for the
+// signed TimingControl) and values past the name table — and must fall
+// back to a parenthesised placeholder instead of panicking. The
+// original guards checked only the upper bound, so a corrupted signed
+// enum (e.g. TimingControl(-1) from an uninitialised config) indexed
+// the name table with a negative value and panicked inside a log line.
+func TestEnumStringTotal(t *testing.T) {
+	type enumCase struct {
+		val  interface{ String() string }
+		want string // "" = any parenthesised fallback is acceptable
+	}
+	cases := map[string][]enumCase{
+		"trace.Kind": {
+			{trace.KindExec, "exec"},
+			{trace.KindLoad, "load"},
+			{trace.KindStore, "store"},
+			{trace.KindMarker, "marker"},
+			{trace.Kind(200), ""},
+			{trace.Kind(255), ""}, // Kind(-1) wraps here: uint8 underlying
+		},
+		"trace.Marker": {
+			{trace.MarkNone, "none"},
+			{trace.MarkIterEnd, "iter.end"},
+			{trace.MarkROIEnd, "roi.end"},
+			{trace.Marker(200), ""},
+			{trace.Marker(255), ""},
+		},
+		"mem.ReqType": {
+			{mem.ReqLoad, "load"},
+			{mem.ReqStore, "store"},
+			{mem.ReqPrefetch, "prefetch"},
+			{mem.ReqMetaWrite, "metawrite"},
+			{mem.ReqType(200), ""},
+			{mem.ReqType(255), ""},
+		},
+		"rnr.TimingControl": {
+			{rnr.NoControl, "nocontrol"},
+			{rnr.WindowControl, "window"},
+			{rnr.WindowPaceControl, "window+pace"},
+			{rnr.TimingControl(-1), ""}, // signed: the original panic
+			{rnr.TimingControl(-1 << 40), ""},
+			{rnr.TimingControl(1 << 40), ""},
+		},
+		"rnr.State": {
+			{rnr.StateIdle, "idle"},
+			{rnr.StateRecord, "record"},
+			{rnr.StatePausedReplay, "paused-replay"},
+			{rnr.State(200), ""},
+			{rnr.State(255), ""},
+		},
+	}
+	for name, cs := range cases {
+		name, cs := name, cs
+		t.Run(name, func(t *testing.T) {
+			for _, c := range cs {
+				got := func() (s string) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%s.String() panicked on %#v: %v", name, c.val, r)
+						}
+					}()
+					return c.val.String()
+				}()
+				if c.want != "" {
+					if got != c.want {
+						t.Errorf("%s(%v).String() = %q, want %q", name, c.val, got, c.want)
+					}
+					continue
+				}
+				if got == "" || !strings.Contains(got, "(") {
+					t.Errorf("%s fallback for %#v = %q, want a parenthesised placeholder", name, c.val, got)
+				}
+			}
+		})
+	}
+}
