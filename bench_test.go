@@ -13,6 +13,7 @@ import (
 	"rnrsim"
 	"rnrsim/internal/apps"
 	"rnrsim/internal/bench"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/sim"
 )
 
@@ -54,36 +55,52 @@ func BenchmarkHardwareOverhead(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec)
-// on the PageRank/urand baseline — useful when tuning the simulator.
+// on the PageRank/urand baseline — useful when tuning the simulator. The
+// /obs variant attaches the prefetch-lifecycle flight recorder so its
+// overhead is tracked in the perf trajectory next to the base number;
+// the base variant's nil Obs is the parity gate (one pointer compare).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	var cycles uint64
-	for i := 0; i < b.N; i++ {
-		r, err := rnrsim.Simulate(rnrsim.TestMachine(), app)
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, obsCfg *obs.Config) {
+		b.ResetTimer()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cfg := rnrsim.TestMachine()
+			cfg.Obs = obsCfg
+			r, err := rnrsim.Simulate(cfg, app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += r.Cycles
 		}
-		cycles += r.Cycles
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	b.Run("base", func(b *testing.B) { run(b, nil) })
+	b.Run("obs", func(b *testing.B) { run(b, &obs.Config{}) })
 }
 
-// BenchmarkRnRReplay measures the full RnR pipeline (record + replay).
+// BenchmarkRnRReplay measures the full RnR pipeline (record + replay);
+// the /obs variant adds lifecycle tracking plus the divergence probes,
+// the heaviest instrumented configuration.
 func BenchmarkRnRReplay(b *testing.B) {
 	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := rnrsim.TestMachine()
-	cfg.Prefetcher = rnrsim.RnR
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := rnrsim.Simulate(cfg, app); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, obsCfg *obs.Config) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rnrsim.TestMachine()
+			cfg.Prefetcher = rnrsim.RnR
+			cfg.Obs = obsCfg
+			if _, err := rnrsim.Simulate(cfg, app); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("base", func(b *testing.B) { run(b, nil) })
+	b.Run("obs", func(b *testing.B) { run(b, &obs.Config{}) })
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"rnrsim/internal/audit"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/sim"
 )
 
@@ -41,6 +42,8 @@ func main() {
 	seqCap := flag.Uint64("seq-cap", 64, "sequence-table capacity in entries (small forces mid-window overflow)")
 	interval := flag.Uint64("audit-interval", 64, "cycles between invariant sweeps")
 	maxCycles := flag.Uint64("max-cycles", 5_000_000, "abort a wedged interleaving after this many cycles")
+	obsOn := flag.Bool("obs", false,
+		"attach the prefetch-lifecycle flight recorder so its conservation law is fuzzed alongside the architectural invariants")
 	verbose := flag.Bool("v", false, "print one line per run instead of a final summary")
 	flag.Parse()
 
@@ -71,6 +74,9 @@ func main() {
 			cfg.Prefetcher = pf
 			cfg.Audit = &audit.Config{Interval: *interval}
 			cfg.MaxCycles = *maxCycles
+			if *obsOn {
+				cfg.Obs = &obs.Config{}
+			}
 			sys, err := sim.New(cfg, app)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "seed %d %s: %v\n", seed, pf, err)

@@ -8,6 +8,7 @@
 //
 //	rnrd [-addr :8080] [-scale bench] [-workers N] [-queue 64]
 //	     [-parallelism N] [-job-timeout 0] [-drain-timeout 30s]
+//	     [-audit] [-obs]
 //
 // See DESIGN.md ("Serving layer") for the API.
 package main
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"rnrsim/internal/audit"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/serve"
 )
 
@@ -42,21 +44,28 @@ func main() {
 		auditOn      = flag.Bool("audit", false,
 			"attach the correctness auditor to every served simulation: periodic invariant sweeps, any violation fails the job instead of caching a corrupt result")
 		auditInt = flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
+		obsOn    = flag.Bool("obs", false,
+			"attach the prefetch-lifecycle flight recorder to every served simulation: results carry lifecycle/histogram sections and /metrics exposes obs_* histograms")
 	)
 	flag.Parse()
 	var auditCfg *audit.Config
 	if *auditOn {
 		auditCfg = &audit.Config{Interval: *auditInt}
 	}
+	var obsCfg *obs.Config
+	if *obsOn {
+		obsCfg = &obs.Config{}
+	}
 	if err := run(*addr, *scale, *workers, *queueDepth, *parallelism,
-		*jobTimeout, *drainTimeout, *quiet, auditCfg); err != nil {
+		*jobTimeout, *drainTimeout, *quiet, auditCfg, obsCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rnrd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, workers, queueDepth, parallelism int,
-	jobTimeout, drainTimeout time.Duration, quiet bool, auditCfg *audit.Config) error {
+	jobTimeout, drainTimeout time.Duration, quiet bool,
+	auditCfg *audit.Config, obsCfg *obs.Config) error {
 	if _, ok := serve.ParseScale(scale); !ok {
 		return fmt.Errorf("unknown scale %q (have %v)", scale, serve.ScaleNames)
 	}
@@ -71,6 +80,7 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 		JobTimeout:   jobTimeout,
 		Parallelism:  parallelism,
 		Audit:        auditCfg,
+		Obs:          obsCfg,
 		Logf:         logf,
 	})
 

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// renderHTML writes the report as a single self-contained HTML page:
+// inline CSS, no scripts, no external fetches — the file survives being
+// mailed around or attached to a CI run long after the build is gone.
+func renderHTML(w io.Writer, rep report) error {
+	return htmlTmpl.Execute(w, rep)
+}
+
+var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct":   func(f float64) float64 { return f * 100 },
+	"uint":  formatUint,
+	"f3":    func(f float64) string { return fmt.Sprintf("%.3f", f) },
+	"f1":    func(f float64) string { return fmt.Sprintf("%.1f", f) },
+	"multi": func(rep report) bool { return len(rep.Runs) > 1 },
+}).Parse(htmlPage))
+
+const htmlPage = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; padding: 0 1rem; }
+  h1 { font-size: 1.5rem; border-bottom: 2px solid #ddd; padding-bottom: .4rem; }
+  h2 { font-size: 1.2rem; margin-top: 2rem; }
+  h3 { font-size: 1rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; margin: .6rem 0 1rem; }
+  th, td { border: 1px solid #ddd; padding: .25rem .6rem; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  th { background: #f5f5f5; }
+  .meta { color: #666; font-size: .85rem; }
+  .meta code { background: #f2f2f2; padding: 0 .3em; border-radius: 3px; }
+  .bar { display: inline-block; height: .75em; background: #4a7db5; vertical-align: baseline; }
+  .barcell { text-align: left; min-width: 10rem; border-left: none; }
+  .note { color: #666; font-style: italic; }
+  .speedup { font-size: 1.1rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{with .Compare}}
+<h2>A/B: {{.LabelA}} &rarr; {{.LabelB}}</h2>
+<p class="speedup">Speedup (A cycles / B cycles): <strong>{{f3 .Speedup}}&times;</strong></p>
+<table>
+<tr><th>metric</th><th>A</th><th>B</th><th>&Delta; B vs A</th></tr>
+{{range .Rows}}<tr><td>{{.Metric}}</td><td>{{.A}}</td><td>{{.B}}</td><td>{{.Delta}}</td></tr>
+{{end}}</table>
+{{end}}
+{{$rep := .}}
+{{range .Runs}}
+<h2>{{if multi $rep}}Run: {{end}}{{.Label}}</h2>
+<p class="meta">{{range $i, $m := .Meta}}{{if $i}} &middot; {{end}}{{$m.K}} <code>{{$m.V}}</code>{{end}}</p>
+<table>
+<tr><th>metric</th><th>value</th></tr>
+{{range .Metrics}}<tr><td>{{.K}}</td><td>{{.V}}</td></tr>
+{{end}}</table>
+{{if .Lifecycle}}
+<h3>Prefetch lifecycle</h3>
+<table>
+<tr><th>outcome</th><th>count</th><th>share</th><th class="barcell"></th></tr>
+{{range .Lifecycle}}<tr><td>{{.Name}}</td><td>{{uint .Count}}</td><td>{{f1 (pct .Share)}}%</td><td class="barcell"><span class="bar" style="width:{{f1 (pct .Share)}}%"></span></td></tr>
+{{end}}</table>
+<p>Late prefetches still shaved <strong>{{uint .LateShaved}}</strong> stall cycles off their demands.</p>
+{{range .Histograms}}
+<h3>Histogram: {{.Name}}</h3>
+<p class="meta">{{uint .Count}} samples, mean {{f1 .Mean}}</p>
+<table>
+<tr><th>range</th><th>count</th><th class="barcell"></th></tr>
+{{range .Rows}}<tr><td>{{.Range}}</td><td>{{uint .Count}}</td><td class="barcell"><span class="bar" style="width:{{f1 (pct .Frac)}}%"></span></td></tr>
+{{end}}</table>
+{{end}}
+{{if .Iterations}}
+<h3>Per-iteration outcomes</h3>
+<table>
+<tr><th>iter</th><th>end cycle</th><th>issued</th><th>timely</th><th>late</th><th>unused-evicted</th><th>redundant</th></tr>
+{{range .Iterations}}<tr><td>{{.Iter}}</td><td>{{uint .EndCycle}}</td><td>{{uint .Issued}}</td><td>{{uint .Timely}}</td><td>{{uint .Late}}</td><td>{{uint .UnusedEvicted}}</td><td>{{uint .Redundant}}</td></tr>
+{{end}}</table>
+{{end}}
+{{with .Divergence}}
+<h3>Replay divergence</h3>
+<p>Mean score <strong>{{f3 .Mean}}</strong>, max <strong>{{f3 .Max}}</strong> over {{uint .Windows}} replay windows
+(0 = every miss explained by the recording, 1 = full drift).</p>
+{{if .Worst}}
+<table>
+<tr><th>core</th><th>window</th><th>predicted</th><th>observed</th><th>unexplained</th><th>score</th></tr>
+{{range .Worst}}<tr><td>{{.Core}}</td><td>{{.Window}}</td><td>{{.Predicted}}</td><td>{{.Observed}}</td><td>{{.EditDistance}}</td><td>{{f3 .Score}}</td></tr>
+{{end}}</table>
+{{end}}
+{{end}}
+{{else}}
+<p class="note">No lifecycle section: the run was made without -obs.</p>
+{{end}}
+{{end}}
+</body>
+</html>
+`

@@ -1,0 +1,97 @@
+// Command rnrreport renders one or two rnrsim.v1 result exports into a
+// self-contained report: headline metrics, the prefetch-lifecycle
+// outcome breakdown, latency histograms, per-iteration trajectories and
+// RnR replay-divergence scores. Exports come from `rnrsim -json` (add
+// `-obs` for the lifecycle sections) or from rnrd's result payloads.
+//
+// Usage:
+//
+//	rnrreport run.json                      # markdown to stdout
+//	rnrreport -o report.md run.json
+//	rnrreport -html -o report.html run.json # single-file HTML, no scripts
+//	rnrreport -title "rnr vs nextline" a.json b.json
+//
+// With two inputs the report opens with an A/B table (speedup, metric
+// deltas, lifecycle deltas) and then details each run. The HTML output
+// inlines all styling, so the file can be archived as a CI artifact and
+// opened anywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rnrsim/internal/sim"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	html := flag.Bool("html", false, "render a self-contained HTML page instead of markdown")
+	title := flag.String("title", "", "report title (default derived from the runs)")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) < 1 || len(paths) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: rnrreport [-o out] [-html] [-title t] run.json [b.json]")
+		os.Exit(2)
+	}
+
+	runs := make([]sim.ResultJSON, 0, len(paths))
+	for _, p := range paths {
+		r, err := loadResult(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		runs = append(runs, r)
+	}
+
+	rep := buildReport(*title, runs)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal("%v", err)
+			}
+		}()
+		w = f
+	}
+	if *html {
+		if err := renderHTML(w, rep); err != nil {
+			fatal("render: %v", err)
+		}
+		return
+	}
+	if _, err := w.WriteString(renderMarkdown(rep)); err != nil {
+		fatal("write: %v", err)
+	}
+}
+
+// loadResult reads and validates one export. An unknown schema version
+// is an error, not a guess: the envelope exists precisely so stale
+// artefacts fail loudly instead of rendering wrong numbers.
+func loadResult(path string) (sim.ResultJSON, error) {
+	var r sim.ResultJSON
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.SchemaVersion != sim.ExportSchemaVersion {
+		return r, fmt.Errorf("%s: schema %q, want %q (re-export with this build's rnrsim)",
+			path, r.SchemaVersion, sim.ExportSchemaVersion)
+	}
+	return r, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rnrreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,377 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rnrsim/internal/obs"
+	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
+)
+
+// report is the renderer-neutral view of one or two runs: both the
+// markdown and the HTML backends walk this, so the two outputs can
+// never drift apart in content.
+type report struct {
+	Title     string
+	Generated string
+	Runs      []runView
+	Compare   *compareView // nil for a single-run report
+}
+
+type runView struct {
+	Label      string
+	Meta       []kv
+	Metrics    []kv
+	Lifecycle  []outcomeRow // empty when the run had no -obs
+	LateShaved uint64
+	Histograms []histView
+	Iterations []obs.IterOutcomesJSON
+	Divergence *divView
+}
+
+type kv struct{ K, V string }
+
+type outcomeRow struct {
+	Name  string
+	Count uint64
+	Share float64 // of issued
+}
+
+type histView struct {
+	Name  string
+	Count uint64
+	Mean  float64
+	Rows  []histRow
+}
+
+type histRow struct {
+	Range string
+	Count uint64
+	Frac  float64 // of the histogram's total count
+}
+
+type divView struct {
+	Mean, Max float64
+	Windows   uint64
+	Worst     []obs.WindowScoreJSON
+}
+
+type compareView struct {
+	LabelA, LabelB string
+	Rows           []cmpRow
+	Speedup        float64 // A cycles / B cycles
+}
+
+type cmpRow struct{ Metric, A, B, Delta string }
+
+// maxWorstWindows bounds the "worst divergence windows" table.
+const maxWorstWindows = 5
+
+func buildReport(title string, runs []sim.ResultJSON) report {
+	rep := report{Title: title}
+	if title == "" {
+		if len(runs) == 2 {
+			rep.Title = fmt.Sprintf("rnrsim A/B report: %s vs %s",
+				runLabel(runs[0]), runLabel(runs[1]))
+		} else {
+			rep.Title = "rnrsim run report: " + runLabel(runs[0])
+		}
+	}
+	if len(runs) > 0 {
+		rep.Generated = runs[0].GeneratedAt
+	}
+	for _, r := range runs {
+		rep.Runs = append(rep.Runs, buildRunView(r))
+	}
+	if len(runs) == 2 {
+		rep.Compare = buildCompare(runs[0], runs[1])
+	}
+	return rep
+}
+
+func runLabel(r sim.ResultJSON) string {
+	return fmt.Sprintf("%s %s/%s", r.Prefetcher, r.App, r.Input)
+}
+
+func buildRunView(r sim.ResultJSON) runView {
+	v := runView{
+		Label: runLabel(r),
+		Meta: []kv{
+			{"schema", r.SchemaVersion},
+			{"generated", r.GeneratedAt},
+			{"config", r.Config},
+			{"state hash", r.StateHash},
+		},
+		Metrics: []kv{
+			{"cycles", formatUint(r.Cycles)},
+			{"instructions", formatUint(r.Instructions)},
+			{"IPC", fmt.Sprintf("%.3f", r.IPC)},
+			{"L2 MPKI", fmt.Sprintf("%.1f", r.L2MPKI)},
+			{"prefetch accuracy", fmt.Sprintf("%.2f", r.Accuracy)},
+			{"iterations", strconv.Itoa(r.Iterations)},
+			{"timeliness on-time/early/late/OoW", fmt.Sprintf("%.0f%% / %.0f%% / %.0f%% / %.0f%%",
+				r.Timeliness.OnTime*100, r.Timeliness.Early*100,
+				r.Timeliness.Late*100, r.Timeliness.OutOfWindow*100)},
+		},
+	}
+	lc := r.Lifecycle
+	if lc == nil {
+		return v
+	}
+	issued := lc.Issued
+	share := func(n uint64) float64 {
+		if issued == 0 {
+			return 0
+		}
+		return float64(n) / float64(issued)
+	}
+	v.Lifecycle = []outcomeRow{
+		{"timely", lc.Timely, share(lc.Timely)},
+		{"late", lc.Late, share(lc.Late)},
+		{"unused-evicted", lc.UnusedEvicted, share(lc.UnusedEvicted)},
+		{"unused-at-end", lc.UnusedAtEnd, share(lc.UnusedAtEnd)},
+		{"redundant", lc.Redundant, share(lc.Redundant)},
+	}
+	v.LateShaved = lc.LateStallShaved
+	v.Iterations = lc.Iterations
+	if d := lc.Divergence; d != nil {
+		dv := &divView{Mean: d.MeanScore, Max: d.MaxScore, Windows: d.WindowsScored}
+		worst := append([]obs.WindowScoreJSON(nil), d.Windows...)
+		sort.SliceStable(worst, func(i, j int) bool { return worst[i].Score > worst[j].Score })
+		if len(worst) > maxWorstWindows {
+			worst = worst[:maxWorstWindows]
+		}
+		dv.Worst = worst
+		v.Divergence = dv
+	}
+	for _, name := range sortedKeys(r.Histograms) {
+		v.Histograms = append(v.Histograms, buildHistView(name, r.Histograms[name]))
+	}
+	return v
+}
+
+func sortedKeys(m map[string]telemetry.HistogramJSON) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func buildHistView(name string, h telemetry.HistogramJSON) histView {
+	v := histView{Name: name, Count: h.Count}
+	if h.Count > 0 {
+		v.Mean = float64(h.Sum) / float64(h.Count)
+	}
+	for _, b := range h.Buckets {
+		frac := 0.0
+		if h.Count > 0 {
+			frac = float64(b.Count) / float64(h.Count)
+		}
+		v.Rows = append(v.Rows, histRow{
+			Range: bucketRange(b.UpperBound),
+			Count: b.Count,
+			Frac:  frac,
+		})
+	}
+	return v
+}
+
+// bucketRange renders a bucket's value range from its inclusive upper
+// bound: exponential base-2 buckets cover [2^(i-1), 2^i-1], so the
+// lower bound recovers as (le+1)/2.
+func bucketRange(le string) string {
+	if le == "+Inf" {
+		return "≥ 2^63"
+	}
+	hi, err := strconv.ParseUint(le, 10, 64)
+	if err != nil {
+		return le
+	}
+	if hi <= 1 {
+		return le
+	}
+	lo := (hi + 1) / 2
+	return fmt.Sprintf("%d–%d", lo, hi)
+}
+
+func buildCompare(a, b sim.ResultJSON) *compareView {
+	c := &compareView{LabelA: runLabel(a), LabelB: runLabel(b)}
+	if b.Cycles > 0 {
+		c.Speedup = float64(a.Cycles) / float64(b.Cycles)
+	}
+	addU := func(name string, va, vb uint64) {
+		c.Rows = append(c.Rows, cmpRow{name, formatUint(va), formatUint(vb), deltaPct(float64(va), float64(vb))})
+	}
+	addF := func(name, format string, va, vb float64) {
+		c.Rows = append(c.Rows, cmpRow{name, fmt.Sprintf(format, va), fmt.Sprintf(format, vb), deltaPct(va, vb)})
+	}
+	addU("cycles", a.Cycles, b.Cycles)
+	addF("IPC", "%.3f", a.IPC, b.IPC)
+	addF("L2 MPKI", "%.1f", a.L2MPKI, b.L2MPKI)
+	addF("accuracy", "%.2f", a.Accuracy, b.Accuracy)
+	if a.Lifecycle != nil && b.Lifecycle != nil {
+		la, lb := a.Lifecycle, b.Lifecycle
+		addU("prefetches issued", la.Issued, lb.Issued)
+		addU("timely", la.Timely, lb.Timely)
+		addU("late", la.Late, lb.Late)
+		addU("unused-evicted", la.UnusedEvicted, lb.UnusedEvicted)
+		addU("redundant", la.Redundant, lb.Redundant)
+		addU("late stall shaved", la.LateStallShaved, lb.LateStallShaved)
+		if la.Divergence != nil && lb.Divergence != nil {
+			addF("divergence mean", "%.3f", la.Divergence.MeanScore, lb.Divergence.MeanScore)
+		}
+	}
+	return c
+}
+
+func deltaPct(a, b float64) string {
+	if a == 0 {
+		if b == 0 {
+			return "—"
+		}
+		return "n/a"
+	}
+	d := (b - a) / a * 100
+	if math.Abs(d) < 0.005 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%+.2f%%", d)
+}
+
+// formatUint groups digits ("37212" → "37,212") — report numbers run
+// into the millions of cycles and raw digit strings stop being legible.
+func formatUint(v uint64) string {
+	s := strconv.FormatUint(v, 10)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// ---- markdown backend -------------------------------------------------
+
+const barWidth = 24
+
+func bar(frac float64) string {
+	n := int(frac*barWidth + 0.5)
+	if n == 0 && frac > 0 {
+		n = 1
+	}
+	if n > barWidth {
+		n = barWidth
+	}
+	return strings.Repeat("█", n)
+}
+
+func renderMarkdown(rep report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", rep.Title)
+	if rep.Compare != nil {
+		writeCompareMarkdown(&b, rep.Compare)
+	}
+	for _, r := range rep.Runs {
+		writeRunMarkdown(&b, r, len(rep.Runs) > 1)
+	}
+	return b.String()
+}
+
+func writeCompareMarkdown(b *strings.Builder, c *compareView) {
+	fmt.Fprintf(b, "## A/B: %s → %s\n\n", c.LabelA, c.LabelB)
+	fmt.Fprintf(b, "Speedup (A cycles / B cycles): **%.3f×**\n\n", c.Speedup)
+	fmt.Fprintf(b, "| metric | A | B | Δ B vs A |\n|---|---:|---:|---:|\n")
+	for _, row := range c.Rows {
+		fmt.Fprintf(b, "| %s | %s | %s | %s |\n", row.Metric, row.A, row.B, row.Delta)
+	}
+	b.WriteString("\n")
+}
+
+func writeRunMarkdown(b *strings.Builder, r runView, multi bool) {
+	if multi {
+		fmt.Fprintf(b, "## Run: %s\n\n", r.Label)
+	} else {
+		fmt.Fprintf(b, "## %s\n\n", r.Label)
+	}
+	var meta []string
+	for _, m := range r.Meta {
+		meta = append(meta, fmt.Sprintf("%s `%s`", m.K, m.V))
+	}
+	fmt.Fprintf(b, "%s\n\n", strings.Join(meta, " · "))
+
+	b.WriteString("| metric | value |\n|---|---:|\n")
+	for _, m := range r.Metrics {
+		fmt.Fprintf(b, "| %s | %s |\n", m.K, m.V)
+	}
+	b.WriteString("\n")
+
+	if len(r.Lifecycle) == 0 {
+		b.WriteString("_No lifecycle section: the run was made without `-obs`._\n\n")
+		return
+	}
+
+	b.WriteString("### Prefetch lifecycle\n\n")
+	b.WriteString("| outcome | count | share | |\n|---|---:|---:|---|\n")
+	for _, o := range r.Lifecycle {
+		fmt.Fprintf(b, "| %s | %s | %.1f%% | %s |\n", o.Name, formatUint(o.Count), o.Share*100, bar(o.Share))
+	}
+	fmt.Fprintf(b, "\nLate prefetches still shaved **%s** stall cycles off their demands.\n\n",
+		formatUint(r.LateShaved))
+
+	for _, h := range r.Histograms {
+		fmt.Fprintf(b, "### Histogram: %s\n\n", h.Name)
+		fmt.Fprintf(b, "%s samples, mean %.1f\n\n", formatUint(h.Count), h.Mean)
+		b.WriteString("| range | count | |\n|---|---:|---|\n")
+		for _, row := range h.Rows {
+			fmt.Fprintf(b, "| %s | %s | %s |\n", row.Range, formatUint(row.Count), bar(row.Frac))
+		}
+		b.WriteString("\n")
+	}
+
+	if len(r.Iterations) > 0 {
+		b.WriteString("### Per-iteration outcomes\n\n")
+		b.WriteString("| iter | end cycle | issued | timely | late | unused-evicted | redundant |\n")
+		b.WriteString("|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, it := range r.Iterations {
+			fmt.Fprintf(b, "| %d | %s | %s | %s | %s | %s | %s |\n",
+				it.Iter, formatUint(it.EndCycle), formatUint(it.Issued), formatUint(it.Timely),
+				formatUint(it.Late), formatUint(it.UnusedEvicted), formatUint(it.Redundant))
+		}
+		b.WriteString("\n")
+	}
+
+	if d := r.Divergence; d != nil {
+		b.WriteString("### Replay divergence\n\n")
+		fmt.Fprintf(b, "Mean score **%.3f**, max **%.3f** over %s replay windows "+
+			"(0 = every miss explained by the recording, 1 = full drift).\n\n",
+			d.Mean, d.Max, formatUint(d.Windows))
+		if len(d.Worst) > 0 && d.Worst[0].Score > 0 {
+			b.WriteString("Worst windows:\n\n")
+			b.WriteString("| core | window | predicted | observed | unexplained | score |\n")
+			b.WriteString("|---:|---:|---:|---:|---:|---:|\n")
+			for _, w := range d.Worst {
+				if w.Score == 0 {
+					break
+				}
+				fmt.Fprintf(b, "| %d | %d | %d | %d | %d | %.3f |\n",
+					w.Core, w.Window, w.Predicted, w.Observed, w.EditDistance, w.Score)
+			}
+			b.WriteString("\n")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rnrsim/internal/obs"
+	"rnrsim/internal/sim"
+	"rnrsim/internal/telemetry"
+)
+
+func sampleRun(pf string, cycles uint64) sim.ResultJSON {
+	return sim.ResultJSON{
+		SchemaVersion: sim.ExportSchemaVersion,
+		GeneratedAt:   "2026-08-08T00:00:00Z",
+		Config:        "test",
+		Prefetcher:    pf,
+		App:           "pagerank",
+		Input:         "urand",
+		Cycles:        cycles,
+		Instructions:  500000,
+		Iterations:    4,
+		IPC:           0.8,
+		L2MPKI:        12.5,
+		Accuracy:      0.9,
+		StateHash:     "00000000deadbeef",
+		Lifecycle: &obs.LifecycleJSON{
+			Issued: 100, Timely: 70, Late: 20, UnusedEvicted: 5,
+			UnusedAtEnd: 1, Redundant: 4, LateStallShaved: 1234,
+			Iterations: []obs.IterOutcomesJSON{
+				{Iter: 1, EndCycle: 1000, Issued: 40, Timely: 30, Late: 10},
+				{Iter: 2, EndCycle: 2000, Issued: 60, Timely: 40, Late: 10},
+			},
+			Divergence: &obs.DivergenceJSON{
+				WindowsScored: 3, MeanScore: 0.1, MaxScore: 0.25,
+				Windows: []obs.WindowScoreJSON{
+					{Core: 0, Window: 0, Predicted: 8, Observed: 4, EditDistance: 1, Score: 0.25},
+					{Core: 0, Window: 1, Predicted: 8, Observed: 2},
+					{Core: 1, Window: 0, Predicted: 8, Observed: 5, EditDistance: 0, Score: 0.05},
+				},
+			},
+		},
+		Histograms: map[string]telemetry.HistogramJSON{
+			"fill_latency_cycles": {
+				Count: 4, Sum: 1004,
+				Buckets: []telemetry.HistogramBucketJSON{
+					{UpperBound: "0", Count: 1},
+					{UpperBound: "1", Count: 1},
+					{UpperBound: "3", Count: 1},
+					{UpperBound: "1023", Count: 1},
+				},
+			},
+		},
+	}
+}
+
+func TestMarkdownSingleRun(t *testing.T) {
+	rep := buildReport("", []sim.ResultJSON{sampleRun("rnr", 100000)})
+	md := renderMarkdown(rep)
+	for _, want := range []string{
+		"# rnrsim run report: rnr pagerank/urand",
+		"| cycles | 100,000 |",
+		"### Prefetch lifecycle",
+		"| timely | 70 | 70.0% |",
+		"**1,234** stall cycles",
+		"### Histogram: fill_latency_cycles",
+		"| 512–1023 | 1 |",
+		"### Per-iteration outcomes",
+		"### Replay divergence",
+		"**0.100**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "A/B") {
+		t.Error("single-run report grew an A/B section")
+	}
+}
+
+func TestMarkdownABPair(t *testing.T) {
+	a := sampleRun("nextline", 120000)
+	b := sampleRun("rnr", 100000)
+	rep := buildReport("", []sim.ResultJSON{a, b})
+	md := renderMarkdown(rep)
+	for _, want := range []string{
+		"## A/B: nextline pagerank/urand → rnr pagerank/urand",
+		"**1.200×**",
+		"| cycles | 120,000 | 100,000 | -16.67% |",
+		"## Run: nextline pagerank/urand",
+		"## Run: rnr pagerank/urand",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("A/B markdown missing %q\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownWithoutObs(t *testing.T) {
+	r := sampleRun("stream", 100000)
+	r.Lifecycle = nil
+	r.Histograms = nil
+	md := renderMarkdown(buildReport("", []sim.ResultJSON{r}))
+	if !strings.Contains(md, "without `-obs`") {
+		t.Errorf("obs-less report should say the sections are absent:\n%s", md)
+	}
+	if strings.Contains(md, "### Prefetch lifecycle") {
+		t.Error("obs-less report rendered a lifecycle section")
+	}
+}
+
+func TestHTMLSelfContained(t *testing.T) {
+	rep := buildReport("my title", []sim.ResultJSON{
+		sampleRun("nextline", 120000), sampleRun("rnr", 100000)})
+	var b strings.Builder
+	if err := renderHTML(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>my title</title>",
+		"Prefetch lifecycle",
+		"fill_latency_cycles",
+		"Replay divergence",
+		"class=\"bar\"",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	for _, banned := range []string{"<script", "http://", "https://"} {
+		if strings.Contains(html, banned) {
+			t.Errorf("html is not self-contained: found %q", banned)
+		}
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	cases := map[string]string{
+		"0":    "0",
+		"1":    "1",
+		"3":    "2–3",
+		"7":    "4–7",
+		"1023": "512–1023",
+		"+Inf": "≥ 2^63",
+	}
+	for le, want := range cases {
+		if got := bucketRange(le); got != want {
+			t.Errorf("bucketRange(%q) = %q, want %q", le, got, want)
+		}
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want string
+	}{
+		{100, 100, "0.00%"},
+		{100, 110, "+10.00%"},
+		{100, 90, "-10.00%"},
+		{0, 0, "—"},
+		{0, 5, "n/a"},
+	}
+	for _, c := range cases {
+		if got := deltaPct(c.a, c.b); got != c.want {
+			t.Errorf("deltaPct(%v, %v) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFormatUint(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 999: "999", 1000: "1,000", 37212: "37,212", 1234567: "1,234,567",
+	}
+	for v, want := range cases {
+		if got := formatUint(v); got != want {
+			t.Errorf("formatUint(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

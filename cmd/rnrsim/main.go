@@ -25,6 +25,13 @@
 // prefetchers the prefetcher name is inserted before the extension
 // (out.rnr.jsonl). -cpuprofile/-memprofile write runtime/pprof profiles
 // of the simulator itself.
+//
+// -obs attaches the prefetch-lifecycle flight recorder (see DESIGN.md
+// "Prefetch lifecycle observability"): every prefetch is attributed to
+// one outcome, latency structure lands in histograms, and RnR replay
+// gets a divergence score. -json writes each run's rnrsim.v1 export
+// (lifecycle and histogram sections included under -obs) — the input
+// cmd/rnrreport renders into a report.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/audit"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/sim"
 	"rnrsim/internal/telemetry"
@@ -59,6 +67,10 @@ func main() {
 	auditOn := flag.Bool("audit", false,
 		"attach the correctness auditor: sweep every component's invariants periodically and fail the run on any violation")
 	auditInt := flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
+	obsOn := flag.Bool("obs", false,
+		"attach the prefetch-lifecycle flight recorder: per-outcome attribution, latency histograms and RnR divergence scores (printed, and exported with -json)")
+	jsonOut := flag.String("json", "",
+		"write each run's rnrsim.v1 result export (JSON) to this file; with several prefetchers the name is inserted before the extension")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
@@ -114,6 +126,9 @@ func main() {
 		cfg.RnRControl = ctl
 		if *auditOn {
 			cfg.Audit = &audit.Config{Interval: *auditInt}
+		}
+		if *obsOn {
+			cfg.Obs = &obs.Config{}
 		}
 		return cfg
 	}
@@ -175,6 +190,21 @@ func main() {
 				r.RecordOverheadPct(base),
 				tl.OnTime*100, tl.Early*100, tl.Late*100, tl.OutOfWindow*100)
 		}
+		if r.Obs != nil {
+			lc := r.Obs.Lifecycle
+			fmt.Printf("  obs: issued %d | timely %d late %d unused-evicted %d unused-at-end %d redundant %d | late stall shaved %d cycles\n",
+				lc.Issued, lc.Timely, lc.Late, lc.UnusedEvicted, lc.UnusedAtEnd,
+				lc.Redundant, lc.LateStallShaved)
+			if d := lc.Divergence; d != nil {
+				fmt.Printf("  obs: divergence mean %.3f max %.3f over %d replay windows\n",
+					d.MeanScore, d.MaxScore, d.WindowsScored)
+			}
+		}
+		if *jsonOut != "" {
+			if err := writeResultJSON(perRunPath(*jsonOut, string(pf), multi), r); err != nil {
+				fatal("%v", err)
+			}
+		}
 		if o.rec != nil {
 			if err := o.rec.WriteMetricsFile(perRunPath(*metrics, string(pf), multi)); err != nil {
 				fatal("%v", err)
@@ -219,6 +249,19 @@ func main() {
 	if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
 		fatal("%v", err)
 	}
+}
+
+// writeResultJSON writes one run's stamped export.
+func writeResultJSON(path string, r *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // perRunPath returns base unchanged for a single instrumented run, and

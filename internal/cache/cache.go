@@ -125,25 +125,30 @@ type queued struct {
 // Cache is one level of the hierarchy. Create with New, connect with
 // SetLower, drive with TryEnqueue/TryPrefetch and Tick.
 type Cache struct {
-	cfg      Config
-	sets     []line // len = nsets*ways, set-major
-	nsets    int
-	setMask  mem.Addr
-	lower    mem.Backend
-	clock    uint64
-	readQ    reqRing
-	prefQ    reqRing
-	writeQ   reqRing
-	mshrs    map[mem.Addr]*mshr
-	unsent   []*mshr // MSHRs whose child could not be enqueued below yet
+	cfg     Config
+	sets    []line // len = nsets*ways, set-major
+	nsets   int
+	setMask mem.Addr
+	lower   mem.Backend
+	clock   uint64
+	readQ   reqRing
+	prefQ   reqRing
+	writeQ  reqRing
+	mshrs   map[mem.Addr]*mshr
+	unsent  []*mshr // MSHRs whose child could not be enqueued below yet
 	// mshrAllocs counts every MSHR ever allocated; the audit layer checks
 	// the conservation law mshrAllocs == MissServiceCnt + len(mshrs)
 	// (every miss is either filled or still in flight).
 	mshrAllocs uint64
 	Stats      Stats
-	OnAccess func(AccessInfo)
-	OnFill   func(line mem.Addr, prefetch bool, cycle uint64)
-	OnEvict  func(line mem.Addr, wasPrefetchedUnused bool, cycle uint64)
+	OnAccess   func(AccessInfo)
+	OnFill     func(line mem.Addr, prefetch bool, cycle uint64)
+	OnEvict    func(line mem.Addr, wasPrefetchedUnused bool, cycle uint64)
+	// Lifecycle, when non-nil, receives per-prefetch lifecycle events
+	// (see LifecycleObserver). Purely observational: it must not feed
+	// back into cache behaviour, so architectural state is identical
+	// with and without it.
+	Lifecycle LifecycleObserver
 }
 
 // New builds a cache from cfg. It panics on an invalid configuration, which
@@ -234,6 +239,9 @@ func (c *Cache) TryEnqueue(r *mem.Request) bool {
 func (c *Cache) TryPrefetch(r *mem.Request) bool {
 	if r.Done == nil && (c.Lookup(r.Line) || c.InFlight(r.Line)) {
 		c.Stats.PrefetchDropped++
+		if c.Lifecycle != nil {
+			c.Lifecycle.PrefetchRedundant(r.Line, c.clock)
+		}
 		return true // filtered, but accepted from the issuer's perspective
 	}
 	if c.prefQ.len() >= c.cfg.PrefQ {
@@ -316,6 +324,9 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 				if prefHit {
 					c.Stats.PrefetchUseful++
 					set[i].prefetched = false
+					if c.Lifecycle != nil {
+						c.Lifecycle.PrefetchDemandHit(r.Line, now)
+					}
 				}
 				if r.Type == mem.ReqStore {
 					set[i].dirty = true
@@ -323,6 +334,9 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 			} else if r.Type == mem.ReqPrefetch && r.Done == nil {
 				// Residence check raced with install; nothing to do.
 				c.Stats.PrefetchDropped++
+				if c.Lifecycle != nil {
+					c.Lifecycle.PrefetchRedundant(r.Line, now)
+				}
 			}
 			c.notifyAccess(r, now, true, false, prefHit)
 			r.Complete(now)
@@ -338,6 +352,9 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 				// A demand caught up with an in-flight prefetch: the
 				// prefetch was issued, just late.
 				c.Stats.PrefetchLate++
+				if c.Lifecycle != nil {
+					c.Lifecycle.PrefetchLateMerge(r.Line, now, now-m.allocAt)
+				}
 			}
 			m.demanded = true
 			m.waiters = append(m.waiters, r)
@@ -348,6 +365,9 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 		} else {
 			// A local prefetch merging into an in-flight miss is a no-op.
 			c.Stats.PrefetchDropped++
+			if c.Lifecycle != nil {
+				c.Lifecycle.PrefetchRedundant(r.Line, now)
+			}
 			r.Complete(now)
 		}
 		c.notifyAccess(r, now, false, true, false)
@@ -367,6 +387,9 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 		c.Stats.DemandMisses++
 	}
 	c.notifyAccess(r, now, false, false, false)
+	if c.Lifecycle != nil && r.Type == mem.ReqPrefetch && r.Done == nil {
+		c.Lifecycle.PrefetchIssued(r.Line, now, len(c.mshrs))
+	}
 
 	m := &mshr{
 		line:     r.Line,
@@ -452,6 +475,9 @@ func (c *Cache) fill(m *mshr, now uint64) {
 		if !m.demanded {
 			c.Stats.PrefetchFills++
 		}
+		if c.Lifecycle != nil {
+			c.Lifecycle.PrefetchFilled(m.line, now, m.demanded)
+		}
 	}
 	if c.OnFill != nil {
 		c.OnFill(m.line, m.prefetch, now)
@@ -494,6 +520,9 @@ func (c *Cache) evict(v *line, now uint64) {
 	unused := v.prefetched
 	if unused {
 		c.Stats.PrefetchEvicted++
+		if c.Lifecycle != nil {
+			c.Lifecycle.PrefetchEvictedUnused(v.tag, now)
+		}
 	}
 	if c.OnEvict != nil {
 		c.OnEvict(v.tag, unused, now)
@@ -635,6 +664,15 @@ func (c *Cache) RegisterProbes(tel *telemetry.Recorder, prefix string) {
 // misses afterwards, which §IV-C identifies as the dominant penalty.
 func (c *Cache) InvalidateAll() {
 	for i := range c.sets {
+		// Invalidation ends the lifecycle of still-unused prefetched
+		// lines exactly like an eviction would; without this the flight
+		// recorder would leak open records across context-switch
+		// generations. Deliberately NOT routed through OnEvict — the
+		// prefetcher reset is handled by the switch path itself, and
+		// firing OnEvict here would perturb recorded RnR state.
+		if c.Lifecycle != nil && c.sets[i].tag != invalidTag && c.sets[i].prefetched {
+			c.Lifecycle.PrefetchEvictedUnused(c.sets[i].tag, c.clock)
+		}
 		c.sets[i] = line{tag: invalidTag}
 	}
 }

@@ -1,0 +1,40 @@
+package cache
+
+import "rnrsim/internal/mem"
+
+// LifecycleObserver receives one callback per prefetch-lifecycle
+// transition at this cache level. It exists for the flight recorder in
+// internal/obs, which attributes every locally-generated prefetch
+// (Done == nil; prefetch children from the level above belong to the
+// originating level's lifecycle) to exactly one outcome. The cache
+// fires events; the observer owns all bookkeeping, so a nil Lifecycle
+// field costs one pointer compare on paths that are already off the
+// per-tick fast path (miss allocation, fill, evict, filter drops).
+//
+// Event vocabulary, in lifecycle order:
+//
+//   - PrefetchIssued: a local prefetch allocated an MSHR. mshrOccupancy
+//     is the MSHR count at allocation (before this one is inserted).
+//   - PrefetchRedundant: a local prefetch was dropped or absorbed
+//     without fetching anything — filtered against a resident line or
+//     in-flight miss, lost a residence race, or merged into an existing
+//     MSHR as a no-op. Issued and closed in the same instant.
+//   - PrefetchLateMerge: a demand miss merged into the still-in-flight
+//     prefetch MSHR. headStart is the cycles the prefetch was already
+//     in flight — the demand stall shaved even though the prefetch was
+//     not fully timely.
+//   - PrefetchFilled: the prefetch MSHR's data arrived. demanded is
+//     true when a demand merged while in flight (the late case).
+//   - PrefetchDemandHit: a demand hit a resident, still-unused
+//     prefetched line — the timely outcome.
+//   - PrefetchEvictedUnused: a prefetched line left the cache (LRU
+//     eviction or context-switch invalidation) without ever being
+//     demanded.
+type LifecycleObserver interface {
+	PrefetchIssued(line mem.Addr, cycle uint64, mshrOccupancy int)
+	PrefetchRedundant(line mem.Addr, cycle uint64)
+	PrefetchLateMerge(line mem.Addr, cycle uint64, headStart uint64)
+	PrefetchFilled(line mem.Addr, cycle uint64, demanded bool)
+	PrefetchDemandHit(line mem.Addr, cycle uint64)
+	PrefetchEvictedUnused(line mem.Addr, cycle uint64)
+}

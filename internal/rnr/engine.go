@@ -127,6 +127,11 @@ type Engine struct {
 	track          map[mem.Addr]uint8
 	issuedThisIter map[mem.Addr]bool
 
+	// diverge, when attached, scores observed replay misses against the
+	// recorded sequence per window (see DivergenceProbe). Observational
+	// only: excluded from state hashing and save/restore.
+	diverge *DivergenceProbe
+
 	// Telemetry (nil = disabled at zero cost): state-machine spans
 	// (record/replay/paused) and metadata-refill episodes are emitted on
 	// telTrack; see SetTelemetry.
@@ -203,8 +208,16 @@ func (e *Engine) OnAccess(ev cache.AccessInfo, issue prefetch.IssueFunc) {
 		st, tracked := e.track[ev.Line]
 		if !ev.Hit && !ev.Merged {
 			e.Stats.ReplayStructMisses++
-			if tracked || e.issuedThisIter[ev.Line] {
+			covered := tracked || e.issuedThisIter[ev.Line]
+			if covered {
 				e.Stats.ReplayMissesCovered++
+			}
+			if e.diverge != nil {
+				if slot := e.Arch.Match(ev.Line); slot >= 0 {
+					base := mem.LineAddr(e.Arch.Bounds[slot].Base)
+					off := uint64(ev.Line-base) >> mem.LineShift
+					e.diverge.observe(NewSeqEntry(slot, off), covered)
+				}
 			}
 		}
 		if !tracked {
@@ -369,6 +382,7 @@ func (e *Engine) handleMarker(rec trace.Record, cycle uint64) {
 		e.resetRecordState()
 		e.Arch.State = StateRecord
 	case trace.MarkReplay:
+		e.closeDivergence()
 		e.finalizeRecord()
 		e.closeIteration()
 		e.resetReplayState()
@@ -397,10 +411,12 @@ func (e *Engine) handleMarker(rec trace.Record, cycle uint64) {
 			e.Arch.State = StateReplay
 		}
 	case trace.MarkPrefetchEnd:
+		e.closeDivergence()
 		e.finalizeRecord()
 		e.closeIteration()
 		e.Arch.State = StateIdle
 	case trace.MarkEnd:
+		e.closeDivergence()
 		e.finalizeRecord()
 		e.closeIteration()
 		e.Arch.State = StateIdle
@@ -619,6 +635,9 @@ func (e *Engine) advanceWindow() {
 	for e.curWindow < e.divFetched && e.curWindow < len(e.div) &&
 		e.curStructRead >= e.div[e.curWindow] {
 		e.windowReads = e.div[e.curWindow]
+		if e.diverge != nil {
+			e.diverge.closeWindow(e.curWindow, e.windowSlice(e.curWindow))
+		}
 		e.curWindow++
 	}
 }
@@ -794,6 +813,9 @@ func (e *Engine) RegisterProbes(tel *telemetry.Recorder, prefix string) {
 		}
 		return float64(dp) / float64(dc)
 	})
+	if e.diverge != nil {
+		tel.Probe(prefix+"divergence", func(uint64) float64 { return e.diverge.LastScore() })
+	}
 }
 
 // Sequence exposes the recorded sequence for tests and tools.

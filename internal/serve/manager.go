@@ -13,6 +13,7 @@ import (
 
 	"rnrsim/internal/audit"
 	"rnrsim/internal/bench"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/sim"
 	"rnrsim/internal/telemetry"
 )
@@ -72,6 +73,13 @@ type Options struct {
 	// instead of caching a corrupted result. Nil (the default) serves
 	// unaudited runs.
 	Audit *audit.Config
+	// Obs, when non-nil, attaches the prefetch-lifecycle flight recorder
+	// (internal/obs) to every simulation the daemon runs: served results
+	// carry the `lifecycle` and `histograms` envelope sections, and the
+	// recorder mirrors its histograms into Registry (unless the config
+	// names its own mirror) so /metrics exposes obs_* Prometheus
+	// histograms accumulated across jobs. Nil serves unobserved runs.
+	Obs *obs.Config
 	// Registry receives the manager's counters and gauges. Default
 	// telemetry.Default.
 	Registry *telemetry.Registry
@@ -183,6 +191,13 @@ func (m *Manager) suiteLocked(scale string) *bench.Suite {
 	s := bench.NewSuite(sc)
 	s.Parallelism = m.opts.Parallelism
 	s.Config.Audit = m.opts.Audit
+	if m.opts.Obs != nil {
+		oc := *m.opts.Obs
+		if oc.Mirror == nil {
+			oc.Mirror = m.opts.Registry
+		}
+		s.Config.Obs = &oc
+	}
 	logf := m.opts.Logf
 	s.Progress = func(key string) { logf("simulating %s/%s", scale, key) }
 	s.OnRunDone = func(key string, elapsed time.Duration) {

@@ -15,15 +15,18 @@ import (
 // manager's instruments priority when both are the same registry anyway.
 //
 // Counters keep their monotonic semantics (`# TYPE ... counter`); gauges
-// and probes are both exposed as `gauge`. Names are sanitised to the
-// Prometheus grammar: every byte outside [a-zA-Z0-9_:] becomes '_'
-// (so "rnrd.queue_depth" exposes as "rnrd_queue_depth").
+// and probes are both exposed as `gauge`; histograms render as native
+// Prometheus histograms (cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`). Names are sanitised to the Prometheus grammar: every
+// byte outside [a-zA-Z0-9_:] becomes '_' (so "rnrd.queue_depth" exposes
+// as "rnrd_queue_depth").
 func WriteMetrics(w io.Writer, cycle uint64, regs ...*telemetry.Registry) error {
 	type row struct {
 		kind  string
 		value float64
 	}
 	merged := make(map[string]row)
+	hists := make(map[string]*telemetry.Histogram)
 	seen := make(map[*telemetry.Registry]bool)
 	for _, r := range regs {
 		if r == nil || seen[r] {
@@ -32,6 +35,9 @@ func WriteMetrics(w io.Writer, cycle uint64, regs ...*telemetry.Registry) error 
 		seen[r] = true
 		for _, m := range r.Snapshot(cycle) {
 			merged[sanitizeMetricName(m.Name)] = row{kind: m.Kind, value: m.Value}
+		}
+		for _, nh := range r.Histograms() {
+			hists[sanitizeMetricName(nh.Name)] = nh.H
 		}
 	}
 	names := make([]string, 0, len(merged))
@@ -48,6 +54,47 @@ func WriteMetrics(w io.Writer, cycle uint64, regs ...*telemetry.Registry) error 
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", n, typ, n, formatMetricValue(m.value)); err != nil {
 			return err
 		}
+	}
+	hnames := make([]string, 0, len(hists))
+	for n := range hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		if err := writeHistogram(w, n, hists[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram in the native Prometheus shape:
+// cumulative buckets at each non-empty exponential boundary, a
+// mandatory +Inf bucket, then _sum and _count. Empty buckets are
+// elided (cumulative series stay correct without them); the top
+// bucket's 2^64-1 boundary folds into +Inf.
+func writeHistogram(w io.Writer, name string, h *telemetry.Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i := 0; i < telemetry.HistogramBuckets-1; i++ {
+		n := h.Bucket(i)
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n",
+			name, telemetry.HistogramBucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, count); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rnrsim/internal/obs"
+	"rnrsim/internal/telemetry"
+)
+
+// TestWriteMetricsHistogram pins the native Prometheus histogram shape:
+// cumulative buckets at the exponential boundaries, a +Inf bucket, sum
+// and count, with the registry name sanitised.
+func TestWriteMetricsHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("obs.fill_latency_cycles")
+	for _, v := range []uint64{0, 1, 3, 1000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b, 0, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE obs_fill_latency_cycles histogram
+obs_fill_latency_cycles_bucket{le="0"} 1
+obs_fill_latency_cycles_bucket{le="1"} 2
+obs_fill_latency_cycles_bucket{le="3"} 3
+obs_fill_latency_cycles_bucket{le="1023"} 4
+obs_fill_latency_cycles_bucket{le="+Inf"} 4
+obs_fill_latency_cycles_sum 1004
+obs_fill_latency_cycles_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("histogram exposition:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestWriteMetricsHistogramEmpty: a registered-but-unfed histogram still
+// exposes a well-formed series (the +Inf bucket is mandatory).
+func TestWriteMetricsHistogramEmpty(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Histogram("obs.mshr_at_issue")
+	var b strings.Builder
+	if err := WriteMetrics(&b, 0, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE obs_mshr_at_issue histogram
+obs_mshr_at_issue_bucket{le="+Inf"} 0
+obs_mshr_at_issue_sum 0
+obs_mshr_at_issue_count 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("empty histogram exposition:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestHTTPMetricsObsHistograms runs an observed RnR job through the
+// daemon and checks (a) the served result carries the lifecycle
+// section and (b) /metrics exposes the mirrored obs histograms.
+func TestHTTPMetricsObsHistograms(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts, _ := newTestServer(t, Options{Workers: 1, Registry: reg, Obs: &obs.Config{}})
+
+	spec := testSpec()
+	spec.Prefetcher = "rnr"
+	resp := postJSON(t, ts.URL+"/v1/runs?wait=1", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.State != StateDone {
+		t.Fatalf("job state = %q (err %q)", v.State, v.Error)
+	}
+	payload := string(v.Result)
+	if !strings.Contains(payload, `"lifecycle"`) || !strings.Contains(payload, `"histograms"`) {
+		t.Errorf("served result lacks the obs sections:\n%s", payload)
+	}
+	if !strings.Contains(payload, `"divergence"`) {
+		t.Errorf("served RnR result lacks the divergence section:\n%s", payload)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE obs_fill_latency_cycles histogram",
+		`obs_fill_latency_cycles_bucket{le="+Inf"}`,
+		"obs_fill_latency_cycles_count",
+		"obs_prefetch_to_use_cycles_count",
+		"obs_mshr_at_issue_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	// The run issued real prefetches, so the mirrored counts are live.
+	if strings.Contains(text, "obs_fill_latency_cycles_count 0\n") {
+		t.Error("mirrored fill-latency histogram never saw a sample")
+	}
+}

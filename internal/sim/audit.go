@@ -28,6 +28,10 @@ import (
 //	             next-line, the LLC-destination ablation bypasses the L2)
 //	dram         queue caps, read conservation, traffic-class accounting,
 //	             row-buffer accounting, bank-register sanity
+//	obs          flight-recorder conservation (issued == sum of outcomes
+//	             + open) and outcome-counter monotonicity
+//	obs/div.c<N> divergence-counter monotonicity, compared <= observed,
+//	             unmatched <= compared
 func (s *System) registerAudit() {
 	if s.cfg.Audit == nil {
 		return
@@ -79,6 +83,36 @@ func (s *System) registerAudit() {
 		s.aud.Register("llc", s.llc.AuditInvariants)
 	}
 	s.aud.Register("dram", s.mc.AuditInvariants)
+	if rec := s.obsRec; rec != nil {
+		// The flight recorder's conservation law (every prefetch has
+		// exactly one outcome) plus monotonicity of its outcome counters
+		// and of each engine's divergence counters.
+		mono := audit.NewMonotone()
+		s.aud.Register("obs", func(report func(string)) {
+			rec.CheckInvariants(report)
+			st := rec.Stats()
+			mono.Check(&st, report)
+		})
+		for c := range s.engines {
+			e := s.engines[c]
+			if e == nil || e.Divergence() == nil {
+				continue
+			}
+			divMono := audit.NewMonotone()
+			p := e.Divergence()
+			s.aud.Register(fmt.Sprintf("obs/div.c%d", c), func(report func(string)) {
+				divMono.Check(&p.Stats, report)
+				if p.Stats.UnmatchedMisses > p.Stats.ComparedMisses {
+					report(fmt.Sprintf("divergence: unmatched %d > compared %d",
+						p.Stats.UnmatchedMisses, p.Stats.ComparedMisses))
+				}
+				if p.Stats.ComparedMisses > p.Stats.ObservedMisses {
+					report(fmt.Sprintf("divergence: compared %d > observed %d",
+						p.Stats.ComparedMisses, p.Stats.ObservedMisses))
+				}
+			})
+		}
+	}
 }
 
 // Audit returns the invariant checker attached at construction (nil

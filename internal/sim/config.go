@@ -11,6 +11,7 @@ import (
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/telemetry"
 )
@@ -84,6 +85,16 @@ type Config struct {
 	// and any violation fails the run with the cycle, component and law.
 	// Nil costs one pointer compare per Tick, like Telemetry.
 	Audit *audit.Config
+
+	// Obs, when non-nil, attaches the prefetch-lifecycle flight recorder
+	// (internal/obs): every prefetch issued into the instrumented level
+	// gets a lifecycle record attributed to exactly one outcome, latency
+	// structure lands in exponential histograms, and RnR engines get a
+	// divergence probe scoring the observed replay-time miss stream
+	// against the recording. Purely observational — state hashes are
+	// identical with or without it — and nil costs one pointer compare
+	// per cache event.
+	Obs *obs.Config
 
 	// Telemetry, when non-nil, attaches the observability layer: every
 	// component registers its probes into the recorder at construction,

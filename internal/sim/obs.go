@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnrsim/internal/obs"
+	"rnrsim/internal/rnr"
+)
+
+// registerObs builds the flight recorder and attaches one lifecycle
+// view per prefetch destination plus a divergence probe per RnR engine.
+// Called once from New, before registerTelemetry (so the telemetry
+// layer can register divergence probes) and before registerAudit (so
+// the audit layer can watch the recorder's counters). A nil cfg.Obs
+// leaves s.obsRec nil — the disabled path is one pointer compare per
+// cache event, the same discipline as telemetry and audit.
+//
+// Views attach where prefetches are issued (see issueFunc): the shared
+// LLC under the §III destination ablation, each private L2 otherwise.
+// Prefetch children that a miss propagates to lower levels carry a
+// completion callback and are not counted — the lifecycle of a prefetch
+// belongs to the level it was issued into.
+func (s *System) registerObs() {
+	if s.cfg.Obs == nil {
+		return
+	}
+	s.obsRec = obs.NewRecorder(*s.cfg.Obs)
+	if s.cfg.RnRPrefetchToLLC && s.llc != nil {
+		s.llc.Lifecycle = s.obsRec.View("llc")
+	} else {
+		for c := range s.l2s {
+			s.l2s[c].Lifecycle = s.obsRec.View(fmt.Sprintf("l2.%d", c))
+		}
+	}
+	maxCompare := s.obsRec.Config().DivergenceMaxCompare
+	for _, e := range s.engines {
+		if e != nil {
+			e.AttachDivergence(&rnr.DivergenceProbe{MaxCompare: maxCompare})
+		}
+	}
+}
+
+// Obs returns the flight recorder attached at construction (nil when
+// lifecycle observability is disabled). Tests use it to inspect open
+// records and per-view stats mid-run.
+func (s *System) Obs() *obs.Recorder { return s.obsRec }
+
+// collectObs finalizes the flight recorder and builds Result.Obs:
+// the lifecycle summary plus the divergence windows gathered from
+// every engine in core order.
+func (s *System) collectObs(r *Result) {
+	if s.obsRec == nil {
+		return
+	}
+	s.obsRec.Finalize(s.cycle)
+	sum := s.obsRec.Summarize()
+	var windows []obs.WindowScoreJSON
+	for c, e := range s.engines {
+		if e == nil || e.Divergence() == nil {
+			continue
+		}
+		for _, w := range e.Divergence().WindowScores() {
+			windows = append(windows, obs.WindowScoreJSON{
+				Core:         c,
+				Window:       w.Window,
+				Predicted:    w.Predicted,
+				Observed:     w.Observed,
+				EditDistance: w.EditDistance,
+				Score:        w.Score,
+			})
+		}
+	}
+	sum.AttachDivergence(windows)
+	r.Obs = sum
+}

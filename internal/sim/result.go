@@ -9,6 +9,7 @@ import (
 	"rnrsim/internal/cache"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/telemetry"
 )
@@ -34,6 +35,12 @@ type Result struct {
 
 	InputBytes uint64
 	Check      float64
+
+	// Obs is the prefetch-lifecycle flight recorder's summary (nil when
+	// Config.Obs was nil): outcome attribution, latency histograms,
+	// per-iteration outcome deltas and RnR divergence scores. Rendered
+	// into the envelope's `lifecycle` and `histograms` sections.
+	Obs *obs.Summary
 
 	// StateHash is an FNV-1a digest of the complete architectural state
 	// of the machine after the run drains: core ROB/LSQ registers, cache
@@ -326,6 +333,11 @@ type ResultJSON struct {
 	InputBytes uint64  `json:"input_bytes"`
 	Check      float64 `json:"check"`
 
+	// Lifecycle and Histograms are the flight recorder's sections,
+	// present only when the run was made with Config.Obs attached.
+	Lifecycle  *obs.LifecycleJSON                 `json:"lifecycle,omitempty"`
+	Histograms map[string]telemetry.HistogramJSON `json:"histograms,omitempty"`
+
 	// StateHash is Result.StateHash as a 16-digit hex string: JSON
 	// numbers lose precision past 2^53, and the hash needs all 64 bits
 	// to be comparable across exports.
@@ -336,7 +348,7 @@ type ResultJSON struct {
 // envelope (schema_version + generated_at).
 func (r *Result) Export() ResultJSON {
 	schema, generated := Stamp()
-	return ResultJSON{
+	out := ResultJSON{
 		SchemaVersion: schema,
 		GeneratedAt:   generated,
 		Config:        r.ConfigName,
@@ -361,6 +373,12 @@ func (r *Result) Export() ResultJSON {
 		Check:         r.Check,
 		StateHash:     fmt.Sprintf("%016x", r.StateHash),
 	}
+	if r.Obs != nil {
+		lc := r.Obs.Lifecycle
+		out.Lifecycle = &lc
+		out.Histograms = r.Obs.Histograms
+	}
+	return out
 }
 
 // WriteJSON writes the result as indented JSON.

@@ -10,6 +10,7 @@ import (
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/mem"
+	"rnrsim/internal/obs"
 	"rnrsim/internal/prefetch"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/telemetry"
@@ -51,6 +52,10 @@ type System struct {
 	// internal/audit and registerAudit.
 	aud        *audit.Checker
 	auditEvery uint64
+
+	// Flight recorder (nil = disabled; the cache-event fast path is one
+	// pointer compare). See internal/obs and registerObs.
+	obsRec *obs.Recorder
 
 	// Tick fast-path gates, fixed at construction: ctxOn skips the
 	// context-switch state machine when injection is disabled, and
@@ -153,6 +158,7 @@ func New(cfg Config, app *apps.App) (*System, error) {
 		s.wirePrefetcher(c)
 		s.wireCore(c)
 	}
+	s.registerObs()
 	s.registerTelemetry()
 	s.registerAudit()
 	return s, nil
@@ -293,6 +299,10 @@ func (s *System) wireCore(c int) {
 				snap.Add(s.l2s[c].Stats)
 			}
 			s.iterSnaps[iter] = snap
+		}
+		if s.obsRec != nil {
+			// The recorder caps hostile indices itself.
+			s.obsRec.IterEnd(int(iter), s.cycle)
 		}
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(int(iter), s.cycle)
@@ -527,6 +537,7 @@ func (s *System) collect() *Result {
 	if s.llc != nil {
 		r.LLC = s.llc.Stats
 	}
+	s.collectObs(r)
 	return r
 }
 

@@ -88,6 +88,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	probes   []namedProbe
 }
 
@@ -161,8 +162,11 @@ type Metric struct {
 }
 
 // Snapshot reads every registered instrument once: probes (polled with
-// cycle) in registration order, then gauges and counters sorted by
-// name. Probes are evaluated outside the registry lock, so a probe may
+// cycle) sorted by name, then gauges and counters sorted by name, so
+// exposition and JSON exports are byte-stable across runs regardless of
+// registration order. Same-named probes keep registration order among
+// themselves (the later still shadows the earlier in sample rows).
+// Probes are evaluated outside the registry lock, so a probe may
 // itself touch the registry without deadlocking. Nil-safe; the
 // Prometheus-text /metrics endpoint of the serving layer is built on
 // it.
@@ -171,8 +175,7 @@ func (r *Registry) Snapshot(cycle uint64) []Metric {
 		return nil
 	}
 	r.mu.Lock()
-	probes := make([]namedProbe, len(r.probes))
-	copy(probes, r.probes)
+	probes := sortedProbes(r.probes)
 	gnames := make([]string, 0, len(r.gauges))
 	for n := range r.gauges {
 		gnames = append(gnames, n)
@@ -206,12 +209,22 @@ func (r *Registry) Snapshot(cycle uint64) []Metric {
 	return out
 }
 
-// columns returns the sample-row schema: probes in registration order,
-// then gauges and counters sorted by name (map iteration is not stable).
+// sortedProbes returns a name-sorted copy of probes. The sort is
+// stable so same-named probes keep their registration order, which
+// preserves the later-shadows-earlier contract of Probe.
+func sortedProbes(probes []namedProbe) []namedProbe {
+	out := make([]namedProbe, len(probes))
+	copy(out, probes)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// columns returns the sample-row schema: probes sorted by name, then
+// gauges and counters sorted by name (map iteration is not stable).
 func (r *Registry) columns() (names []string, read []func(cycle uint64) float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, p := range r.probes {
+	for _, p := range sortedProbes(r.probes) {
 		p := p
 		names = append(names, p.name)
 		read = append(read, p.fn)
