@@ -59,17 +59,30 @@ func BenchmarkHardwareOverhead(b *testing.B) {
 // /obs variant attaches the prefetch-lifecycle flight recorder so its
 // overhead is tracked in the perf trajectory next to the base number;
 // the base variant's nil Obs is the parity gate (one pointer compare).
+//
+// The sub-benchmarks split along two axes:
+//
+//   - engine: the default event-driven scheduler vs /stepped
+//     (ForceCycleStepped), so the perf trajectory records both and CI can
+//     gate on their ratio.
+//   - regime: base is dense (PageRank keeps some component busy ~90% of
+//     cycles, so event-driven wins only by per-component tick gating);
+//     /ctxswitch injects the paper's §IV-C descheduling with a realistic
+//     out:in ratio, the idle-heavy regime next-event scheduling exists
+//     for, where the event engine leaps whole descheduled windows.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	app, err := rnrsim.BuildWorkload("pagerank", "urand", rnrsim.ScaleTest)
 	if err != nil {
 		b.Fatal(err)
 	}
-	run := func(b *testing.B, obsCfg *obs.Config) {
+	run := func(b *testing.B, mutate func(*rnrsim.MachineConfig)) {
 		b.ResetTimer()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			cfg := rnrsim.TestMachine()
-			cfg.Obs = obsCfg
+			if mutate != nil {
+				mutate(&cfg)
+			}
 			r, err := rnrsim.Simulate(cfg, app)
 			if err != nil {
 				b.Fatal(err)
@@ -78,8 +91,23 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 	}
+	ctxHeavy := func(cfg *rnrsim.MachineConfig) {
+		cfg.CtxSwitch = sim.CtxSwitchConfig{Period: 20_000, Duration: 1_000_000}
+	}
 	b.Run("base", func(b *testing.B) { run(b, nil) })
-	b.Run("obs", func(b *testing.B) { run(b, &obs.Config{}) })
+	b.Run("obs", func(b *testing.B) {
+		run(b, func(cfg *rnrsim.MachineConfig) { cfg.Obs = &obs.Config{} })
+	})
+	b.Run("stepped", func(b *testing.B) {
+		run(b, func(cfg *rnrsim.MachineConfig) { cfg.ForceCycleStepped = true })
+	})
+	b.Run("ctxswitch", func(b *testing.B) { run(b, ctxHeavy) })
+	b.Run("ctxswitch-stepped", func(b *testing.B) {
+		run(b, func(cfg *rnrsim.MachineConfig) {
+			ctxHeavy(cfg)
+			cfg.ForceCycleStepped = true
+		})
+	})
 }
 
 // BenchmarkRnRReplay measures the full RnR pipeline (record + replay);

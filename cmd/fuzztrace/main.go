@@ -10,6 +10,7 @@
 //	fuzztrace -seeds 512 -start 1000  # a bigger sweep
 //	fuzztrace -fuzz-seed 42 -v        # reproduce one seed, print stats
 //	fuzztrace -prefetchers rnr -pathological=false
+//	fuzztrace -force-cycle-stepped    # same sweep on the legacy engine
 //
 // Every failure prints the seed, the prefetcher, and each retained
 // violation (cycle, component, law), so a red sweep reproduces with
@@ -42,6 +43,8 @@ func main() {
 	seqCap := flag.Uint64("seq-cap", 64, "sequence-table capacity in entries (small forces mid-window overflow)")
 	interval := flag.Uint64("audit-interval", 64, "cycles between invariant sweeps")
 	maxCycles := flag.Uint64("max-cycles", 5_000_000, "abort a wedged interleaving after this many cycles")
+	forceStepped := flag.Bool("force-cycle-stepped", false,
+		"drive the sweep with the legacy cycle-stepped engine instead of the event-driven scheduler (differential debugging: a hash that changes with this flag is a wakeup bug)")
 	obsOn := flag.Bool("obs", false,
 		"attach the prefetch-lifecycle flight recorder so its conservation law is fuzzed alongside the architectural invariants")
 	verbose := flag.Bool("v", false, "print one line per run instead of a final summary")
@@ -74,6 +77,7 @@ func main() {
 			cfg.Prefetcher = pf
 			cfg.Audit = &audit.Config{Interval: *interval}
 			cfg.MaxCycles = *maxCycles
+			cfg.ForceCycleStepped = *forceStepped
 			if *obsOn {
 				cfg.Obs = &obs.Config{}
 			}

@@ -44,19 +44,21 @@ func (c *Cache) AuditInvariants(report func(law string)) {
 	}
 
 	// MSHR table integrity.
-	for lineAddr, m := range c.mshrs {
-		if m.line != lineAddr {
-			report(fmt.Sprintf("MSHR keyed %#x tracks line %#x", uint64(lineAddr), uint64(m.line)))
+	seen := make(map[mem.Addr]bool, len(c.mshrs))
+	for _, m := range c.mshrs {
+		if seen[m.line] {
+			report(fmt.Sprintf("MSHR table holds line %#x twice", uint64(m.line)))
 		}
+		seen[m.line] = true
 		if m.child == nil {
-			report(fmt.Sprintf("MSHR %#x has no child request", uint64(lineAddr)))
+			report(fmt.Sprintf("MSHR %#x has no child request", uint64(m.line)))
 		}
 	}
 	for _, m := range c.unsent {
 		if m.sent {
 			report(fmt.Sprintf("unsent list holds already-sent MSHR %#x", uint64(m.line)))
 		}
-		if _, ok := c.mshrs[m.line]; !ok {
+		if c.findMSHR(m.line) == nil {
 			report(fmt.Sprintf("unsent MSHR %#x missing from MSHR table", uint64(m.line)))
 		}
 	}
@@ -139,14 +141,11 @@ func (c *Cache) HashState(mix func(uint64)) {
 	hashRing(&c.prefQ, mix)
 	hashRing(&c.writeQ, mix)
 
-	lines := make([]mem.Addr, 0, len(c.mshrs))
-	for lineAddr := range c.mshrs {
-		lines = append(lines, lineAddr)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	mix(uint64(len(lines)))
-	for _, lineAddr := range lines {
-		m := c.mshrs[lineAddr]
+	entries := make([]*mshr, len(c.mshrs))
+	copy(entries, c.mshrs)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].line < entries[j].line })
+	mix(uint64(len(entries)))
+	for _, m := range entries {
 		mix(uint64(m.line))
 		mix(m.allocAt)
 		mix(boolWord(m.prefetch)<<2 | boolWord(m.demanded)<<1 | boolWord(m.sent))

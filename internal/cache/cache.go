@@ -115,6 +115,40 @@ type mshr struct {
 	demanded bool
 	sent     bool // child request handed to the lower level
 	child    *mem.Request
+	owner    *Cache
+	// boundFill caches the fillDone method value: binding a method
+	// allocates, so it happens once per mshr object, not once per miss.
+	boundFill func(cycle uint64)
+	// childReq is the storage child points at: embedding the miss request
+	// in the MSHR makes the miss path one arena carve instead of three
+	// heap allocations (MSHR, request, fill closure) — the simulator's
+	// hottest allocation site.
+	childReq mem.Request
+}
+
+// fillDone is the child request's completion callback. A method value on
+// the arena-carved MSHR replaces the per-miss closure allocation.
+func (m *mshr) fillDone(cycle uint64) { m.owner.fill(m, cycle) }
+
+// newMSHR recycles an MSHR from the free list, falling back to chunked
+// arena carving. Recycling keeps the waiter slice's backing array and
+// the bound fill callback alive across misses, making the steady-state
+// miss path allocation-free.
+func (c *Cache) newMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		m.waiters = m.waiters[:0]
+		m.sent = false
+		return m
+	}
+	if len(c.arena) == 0 {
+		c.arena = make([]mshr, 128)
+	}
+	m := &c.arena[0]
+	c.arena = c.arena[1:]
+	m.boundFill = m.fillDone
+	return m
 }
 
 type queued struct {
@@ -125,17 +159,25 @@ type queued struct {
 // Cache is one level of the hierarchy. Create with New, connect with
 // SetLower, drive with TryEnqueue/TryPrefetch and Tick.
 type Cache struct {
-	cfg     Config
-	sets    []line // len = nsets*ways, set-major
-	nsets   int
-	setMask mem.Addr
-	lower   mem.Backend
-	clock   uint64
-	readQ   reqRing
-	prefQ   reqRing
-	writeQ  reqRing
-	mshrs   map[mem.Addr]*mshr
-	unsent  []*mshr // MSHRs whose child could not be enqueued below yet
+	cfg      Config
+	sets     []line // len = nsets*ways, set-major
+	nsets    int
+	setMask  mem.Addr
+	lower    mem.Backend
+	clock    uint64
+	readQ    reqRing
+	prefQ    reqRing
+	writeQ   reqRing
+	mshrs    []*mshr       // active MSHRs; linear scan beats a map at <=128 entries
+	arena    []mshr        // chunk allocator for MSHRs (see newMSHR)
+	mshrFree []*mshr       // retired MSHRs available for reuse
+	wbArena  []mem.Request // chunk allocator for eviction writebacks
+	unsent   []*mshr       // MSHRs whose child could not be enqueued below yet
+	// wakeDirty is set whenever the cache receives external input (an
+	// enqueue from above, a fill from below, an invalidation) — anything
+	// that can move its Wakeup earlier. The event scheduler clears it
+	// when it recomputes the cached wakeup; see TakeWakeDirty.
+	wakeDirty bool
 	// mshrAllocs counts every MSHR ever allocated; the audit layer checks
 	// the conservation law mshrAllocs == MissServiceCnt + len(mshrs)
 	// (every miss is either filled or still in flight).
@@ -166,7 +208,7 @@ func New(cfg Config) *Cache {
 		sets:    make([]line, n*cfg.Ways),
 		nsets:   n,
 		setMask: mem.Addr(n - 1),
-		mshrs:   make(map[mem.Addr]*mshr, cfg.MSHRs),
+		mshrs:   make([]*mshr, 0, cfg.MSHRs),
 	}
 	for i := range c.sets {
 		c.sets[i].tag = invalidTag
@@ -203,12 +245,37 @@ func (c *Cache) Lookup(lineAddr mem.Addr) bool {
 
 // InFlight reports whether an MSHR already tracks the line.
 func (c *Cache) InFlight(lineAddr mem.Addr) bool {
-	_, ok := c.mshrs[lineAddr]
+	ok := c.findMSHR(lineAddr) != nil
 	return ok
 }
 
 // MSHRFree reports whether a new miss could currently allocate an MSHR.
 func (c *Cache) MSHRFree() bool { return len(c.mshrs) < c.cfg.MSHRs }
+
+// findMSHR returns the in-flight MSHR for lineAddr, or nil. MSHR counts
+// are small (8-128), so an unordered linear scan is faster than the map
+// it replaced on the miss path.
+func (c *Cache) findMSHR(lineAddr mem.Addr) *mshr {
+	for _, m := range c.mshrs {
+		if m.line == lineAddr {
+			return m
+		}
+	}
+	return nil
+}
+
+// removeMSHR drops m from the active list (order is not meaningful).
+func (c *Cache) removeMSHR(m *mshr) {
+	for i, x := range c.mshrs {
+		if x == m {
+			last := len(c.mshrs) - 1
+			c.mshrs[i] = c.mshrs[last]
+			c.mshrs[last] = nil
+			c.mshrs = c.mshrs[:last]
+			return
+		}
+	}
+}
 
 // TryEnqueue accepts a demand or writeback request into the cache's input
 // queues. It implements mem.Backend so caches stack naturally. Prefetches
@@ -220,6 +287,7 @@ func (c *Cache) TryEnqueue(r *mem.Request) bool {
 			return false
 		}
 		c.writeQ.pushBack(queued{r, c.clock + c.cfg.Latency})
+		c.wakeDirty = true
 	case mem.ReqPrefetch:
 		return c.TryPrefetch(r)
 	default:
@@ -227,6 +295,7 @@ func (c *Cache) TryEnqueue(r *mem.Request) bool {
 			return false
 		}
 		c.readQ.pushBack(queued{r, c.clock + c.cfg.Latency})
+		c.wakeDirty = true
 	}
 	return true
 }
@@ -249,8 +318,86 @@ func (c *Cache) TryPrefetch(r *mem.Request) bool {
 		return false
 	}
 	c.prefQ.pushBack(queued{r, c.clock + c.cfg.Latency})
+	c.wakeDirty = true
 	c.Stats.PrefetchIssued++
 	return true
+}
+
+// CanAcceptDemand implements mem.DemandCapacity: whether a demand
+// TryEnqueue would currently be admitted to the read queue.
+func (c *Cache) CanAcceptDemand() bool { return c.readQ.len() < c.cfg.ReadQ }
+
+// Wakeup reports the earliest future cycle at which Tick could change
+// state, or mem.WakeupNever when the cache is quiescent (possibly with
+// MSHRs outstanding — fills are completion callbacks, not tick work).
+// Each input queue is FIFO, so its head gates the whole queue. A head
+// that is ready but structurally blocked is frozen, not busy: a demand
+// head that would miss with every MSHR busy is retried by Tick each
+// cycle, but the retry is a provable no-op (stats cancel out, only the
+// head's requeue stamp churns — and that reconverges at the next real
+// tick), and the prefetch loop breaks before touching its queue when
+// MSHRs are below the demand reservation. Both unblock only via a fill,
+// which is a completion callback after which wakeups are recomputed.
+func (c *Cache) Wakeup(now uint64) uint64 {
+	if len(c.unsent) > 0 {
+		return now + 1 // blocked miss traffic is retried every cycle
+	}
+	w := mem.WakeupNever
+	if c.readQ.n > 0 {
+		if f := c.readQ.front(); f.ready > now {
+			w = f.ready
+		} else if len(c.mshrs) < c.cfg.MSHRs || c.Lookup(f.req.Line) ||
+			c.InFlight(f.req.Line) {
+			return now + 1 // hit, merge or MSHR allocation: real work next cycle
+		}
+		// else: fresh miss with MSHRs exhausted — frozen until a fill.
+	}
+	if c.prefQ.n > 0 {
+		if f := c.prefQ.front(); f.ready > now {
+			if f.ready < w {
+				w = f.ready
+			}
+		} else {
+			reserved := 4
+			if reserved > c.cfg.MSHRs/2 {
+				reserved = c.cfg.MSHRs / 2
+			}
+			if len(c.mshrs) < c.cfg.MSHRs-reserved {
+				return now + 1
+			}
+			// else: Tick's prefetch loop breaks untouched — frozen.
+		}
+	}
+	if c.writeQ.n > 0 {
+		if f := c.writeQ.front(); f.ready > now {
+			if f.ready < w {
+				w = f.ready
+			}
+		} else {
+			// A ready writeback may still be blocked below; the failed
+			// apply is pure but cheap certainty isn't — simulate it.
+			return now + 1
+		}
+	}
+	return w
+}
+
+// AdvanceClock fast-forwards the internal clock over skipped idle
+// cycles. The clock timestamps enqueues (ready = clock + latency) and
+// posted completions, so before simulating cycle X after a jump it must
+// read X-1 — exactly what a cycle-stepped Tick at X-1 would have left
+// behind (Tick sets the clock before its idle early-exit, so this is
+// the only effect the skipped ticks had).
+func (c *Cache) AdvanceClock(now uint64) { c.clock = now }
+
+// TakeWakeDirty reports and clears the external-input flag. The event
+// scheduler calls it when deciding whether a cached Wakeup value is
+// still valid; everything that can move the wakeup earlier (TryEnqueue,
+// TryPrefetch, fill, InvalidateAll) sets the flag.
+func (c *Cache) TakeWakeDirty() bool {
+	d := c.wakeDirty
+	c.wakeDirty = false
+	return d
 }
 
 // Tick advances the cache by one cycle: it retries blocked miss traffic,
@@ -345,7 +492,7 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 	}
 
 	// Miss. Merge into an existing MSHR when possible.
-	if m, ok := c.mshrs[r.Line]; ok {
+	if m := c.findMSHR(r.Line); m != nil {
 		if demand {
 			c.Stats.DemandMerges++
 			if m.prefetch && !m.demanded {
@@ -391,18 +538,18 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 		c.Lifecycle.PrefetchIssued(r.Line, now, len(c.mshrs))
 	}
 
-	m := &mshr{
-		line:     r.Line,
-		prefetch: r.Type == mem.ReqPrefetch,
-		demanded: demand,
-		allocAt:  now,
-	}
+	m := c.newMSHR()
+	m.line = r.Line
+	m.prefetch = r.Type == mem.ReqPrefetch
+	m.demanded = demand
+	m.allocAt = now
+	m.owner = c
 	if r.Done != nil {
 		m.waiters = append(m.waiters, r)
 	} else if r.Type == mem.ReqPrefetch {
 		// keep nothing; fill path uses the MSHR itself
 	}
-	child := &mem.Request{
+	m.childReq = mem.Request{
 		Type:       childType(r.Type),
 		Addr:       r.Line,
 		Line:       r.Line,
@@ -412,9 +559,10 @@ func (c *Cache) access(r *mem.Request, now uint64) {
 		StructFlag: r.StructFlag,
 		Issue:      now,
 	}
-	child.Done = func(cycle uint64) { c.fill(m, cycle) }
+	child := &m.childReq
+	child.Done = m.boundFill
 	m.child = child
-	c.mshrs[r.Line] = m
+	c.mshrs = append(c.mshrs, m)
 	c.mshrAllocs++
 	if c.lower == nil || c.lower.TryEnqueue(child) {
 		m.sent = c.lower != nil
@@ -466,7 +614,8 @@ func (c *Cache) retryUnsent() {
 
 // fill installs the line delivered by the lower level and wakes waiters.
 func (c *Cache) fill(m *mshr, now uint64) {
-	delete(c.mshrs, m.line)
+	c.wakeDirty = true
+	c.removeMSHR(m)
 	c.Stats.MissServiceSum += now - m.allocAt
 	c.Stats.MissServiceCnt++
 	c.install(m.line, m.prefetch && !m.demanded, now)
@@ -488,6 +637,9 @@ func (c *Cache) fill(m *mshr, now uint64) {
 		}
 		w.Complete(now)
 	}
+	// The child request completed and every waiter was handed back, so
+	// nothing below or above still points at this MSHR: recycle it.
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // install places lineAddr into its set, evicting the LRU way.
@@ -528,7 +680,12 @@ func (c *Cache) evict(v *line, now uint64) {
 		c.OnEvict(v.tag, unused, now)
 	}
 	if v.dirty && c.lower != nil {
-		wb := &mem.Request{Type: mem.ReqWriteback, Addr: v.tag, Line: v.tag, Core: -1, Issue: now}
+		if len(c.wbArena) == 0 {
+			c.wbArena = make([]mem.Request, 128)
+		}
+		wb := &c.wbArena[0]
+		c.wbArena = c.wbArena[1:]
+		*wb = mem.Request{Type: mem.ReqWriteback, Addr: v.tag, Line: v.tag, Core: -1, Issue: now}
 		if !c.lower.TryEnqueue(wb) {
 			// Model a bounded retry by dropping into our own write queue.
 			c.writeQ.pushBack(queued{wb, now + 1})
@@ -663,6 +820,7 @@ func (c *Cache) RegisterProbes(tel *telemetry.Recorder, prefix string) {
 // are dropped without writeback traffic; the cost modelled is the warm-up
 // misses afterwards, which §IV-C identifies as the dominant penalty.
 func (c *Cache) InvalidateAll() {
+	c.wakeDirty = true
 	for i := range c.sets {
 		// Invalidation ends the lifecycle of still-unused prefetched
 		// lines exactly like an eviction would; without this the flight

@@ -80,8 +80,9 @@ type Core struct {
 	ID  int
 	cfg Config
 
-	l1  mem.Backend
-	src trace.Source
+	l1    mem.Backend
+	l1Cap mem.DemandCapacity // optional capacity probe on l1, for Wakeup
+	src   trace.Source
 
 	rob   []robEntry // ring buffer
 	head  int
@@ -94,7 +95,11 @@ type Core struct {
 	pendingRec   trace.Record
 	pendingValid bool
 	pendingReq   *mem.Request // built (and PreAccess-ed) but not yet accepted by the L1
+	pendingOp    *memOp       // the memOp wrapping pendingReq
+	opArena      []memOp      // chunk allocator for memOps
+	opFree       []*memOp     // completed memOps available for reuse
 	drained      bool
+	wakeDirty    bool // external completion arrived; see TakeWakeDirty
 
 	Stats Stats
 
@@ -119,7 +124,9 @@ func New(id int, cfg Config, src trace.Source, l1 mem.Backend) *Core {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Core{ID: id, cfg: cfg, l1: l1, src: src, rob: make([]robEntry, cfg.ROB)}
+	c := &Core{ID: id, cfg: cfg, l1: l1, src: src, rob: make([]robEntry, cfg.ROB)}
+	c.l1Cap, _ = l1.(mem.DemandCapacity)
+	return c
 }
 
 // Done reports whether the core has drained its trace and retired
@@ -136,6 +143,108 @@ func (c *Core) Tick(now uint64) {
 	c.Stats.Cycles++
 	c.retire(now)
 	c.fetch(now)
+}
+
+// Wakeup reports the earliest future cycle at which Tick could change
+// architectural state, or mem.WakeupNever when the core can only be
+// woken by an external completion (a memory fill marking the ROB head
+// done or freeing an LSQ slot). See mem.WakeupNever for the contract.
+//
+// Per-cycle stall counters (Cycles, FetchStalls, ROBStallCyc) are NOT
+// wakeup conditions: they advance deterministically over a frozen span
+// and the scheduler charges them in one batch via SkipIdle.
+func (c *Core) Wakeup(now uint64) uint64 {
+	if c.Done() {
+		return mem.WakeupNever
+	}
+	w := mem.WakeupNever
+	if c.count > 0 {
+		if e := &c.rob[c.head]; e.done {
+			if e.doneAt <= now+1 {
+				return now + 1 // retirement due now
+			}
+			w = e.doneAt // retirement timer (exec latency)
+		}
+		// Head not done: a load waiting on memory. Its completion is a
+		// callback during some other component's tick; wakeups are
+		// recomputed after every tick, so nothing to schedule here.
+	}
+	if c.Gate != nil && !c.Gate() {
+		return w // fetch gated at the barrier: only retirement progresses
+	}
+	if c.count == c.cfg.ROB {
+		return w // fetch blocked until retirement frees a slot
+	}
+	switch {
+	case c.pendingExec > 0:
+		return now + 1 // exec bundle keeps dispatching
+	case c.pendingReq != nil:
+		// L1 backpressure. The dispatch retry runs every cycle, but a
+		// retry against a still-full read queue provably fails without
+		// side effects beyond the per-cycle FetchStalls count (charged by
+		// SkipIdle): the rejection is pure, the tail-slot rewrite is
+		// outside the architectural window, and the retry closure is
+		// rebuilt from scratch on the attempt that finally lands. So only
+		// wake when the L1 could admit the request; the queue frees a
+		// slot during an L1 tick, after which wakeups are recomputed.
+		if c.l1Cap == nil || c.l1Cap.CanAcceptDemand() {
+			return now + 1
+		}
+		return w
+	case c.pendingValid:
+		if k := c.pendingRec.Kind; k != trace.KindLoad && k != trace.KindStore {
+			return now + 1 // non-memory record dispatches next cycle
+		}
+		if c.lsqUsed < c.cfg.LSQ {
+			return now + 1 // request build + dispatch next cycle
+		}
+		// LSQ full: frozen until a completion frees a slot (external).
+	case !c.drained:
+		return now + 1 // fetch pulls the next trace record
+	}
+	return w
+}
+
+// TakeWakeDirty reports and clears the external-input flag, set when a
+// memory completion callback touched the core (ROB head done, LSQ slot
+// freed). The event scheduler uses it to know when the core's cached
+// wakeup may have moved earlier.
+func (c *Core) TakeWakeDirty() bool {
+	d := c.wakeDirty
+	c.wakeDirty = false
+	return d
+}
+
+// SkipIdle charges n skipped cycles' worth of per-cycle accounting in
+// one batch. The caller (the event-driven scheduler) guarantees the
+// core's state is frozen over the span: no retirement, no dispatch, no
+// completion — exactly the cycles Wakeup said nothing happens on. What
+// a frozen Tick still does is count: Cycles always, ROBStallCyc and
+// FetchStalls when retire/fetch are blocked. The conditions mirror one
+// frozen Tick body, so n batched calls hash identically to n real ones.
+func (c *Core) SkipIdle(n uint64) {
+	if n == 0 || c.Done() {
+		return
+	}
+	c.Stats.Cycles += n
+	gated := c.Gate != nil && !c.Gate()
+	if c.count == c.cfg.ROB {
+		c.Stats.ROBStallCyc += n
+		if !gated {
+			c.Stats.FetchStalls += n
+		}
+		return
+	}
+	if gated {
+		return
+	}
+	if c.pendingValid &&
+		(c.pendingRec.Kind == trace.KindLoad || c.pendingRec.Kind == trace.KindStore) &&
+		(c.pendingReq != nil || c.lsqUsed >= c.cfg.LSQ) {
+		// Dispatch blocked on L1 backpressure or a full LSQ: each stepped
+		// cycle would count one fetch stall.
+		c.Stats.FetchStalls += n
+	}
 }
 
 func (c *Core) retire(now uint64) {
@@ -222,6 +331,61 @@ func (c *Core) pushExec(now uint64) {
 	c.count++
 }
 
+// memOp bundles an in-flight memory instruction: the request itself plus
+// the completion state its Done callback needs. One arena carve per
+// instruction replaces the request + closure heap allocations that used
+// to dominate the dispatch path.
+type memOp struct {
+	c       *Core
+	slot    int
+	isLoad  bool
+	freed   bool
+	issueAt uint64
+	req     mem.Request
+	// boundDone caches the done method value: binding a method allocates,
+	// so it happens once per op object, not once per instruction.
+	boundDone func(cycle uint64)
+}
+
+// done completes the memory op: mark the load's ROB slot done and free
+// the LSQ entry. The LSQ release flag lives here, not in the ROB entry:
+// a store may retire (and its ROB slot be reused) before its fill
+// returns, so the entry cannot be trusted at completion time. A load's
+// slot is safe — loads cannot retire before their own completion.
+func (o *memOp) done(cycle uint64) {
+	c := o.c
+	c.wakeDirty = true
+	if o.isLoad {
+		c.rob[o.slot].done = true
+		c.rob[o.slot].doneAt = cycle
+		c.Stats.LoadLatencySum += cycle - o.issueAt
+	}
+	if !o.freed {
+		o.freed = true
+		c.lsqUsed--
+	}
+	// The request completed and the memory system dropped its pointer;
+	// the core's own reference was cleared when dispatch was accepted
+	// (completion cannot fire before acceptance). Recycle the op.
+	c.opFree = append(c.opFree, o)
+}
+
+func (c *Core) newMemOp() *memOp {
+	if n := len(c.opFree); n > 0 {
+		o := c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+		o.freed = false
+		return o
+	}
+	if len(c.opArena) == 0 {
+		c.opArena = make([]memOp, 128)
+	}
+	o := &c.opArena[0]
+	c.opArena = c.opArena[1:]
+	o.boundDone = o.done
+	return o
+}
+
 func (c *Core) dispatchMem(rec *trace.Record, now uint64) bool {
 	if c.lsqUsed >= c.cfg.LSQ {
 		return false
@@ -230,18 +394,30 @@ func (c *Core) dispatchMem(rec *trace.Record, now uint64) bool {
 	// Build the request (and run the side-effecting PreAccess boundary
 	// check) exactly once per instruction; a dispatch retry after L1
 	// backpressure reuses the pending request.
-	req := c.pendingReq
-	if req == nil {
+	op := c.pendingOp
+	if op == nil {
 		t := mem.ReqStore
 		if isLoad {
 			t = mem.ReqLoad
 		}
-		req = mem.NewRequest(t, rec.Addr, rec.PC, c.ID, now)
-		req.RegionID = int(rec.Aux)
-		if c.PreAccess != nil {
-			c.PreAccess(req)
+		op = c.newMemOp()
+		op.c = c
+		op.isLoad = isLoad
+		op.req = mem.Request{
+			Type:     t,
+			Addr:     rec.Addr,
+			Line:     mem.LineAddr(rec.Addr),
+			PC:       rec.PC,
+			Core:     c.ID,
+			RegionID: int(rec.Aux),
+			Issue:    now,
 		}
-		c.pendingReq = req
+		if c.PreAccess != nil {
+			c.PreAccess(&op.req)
+		}
+		op.req.Done = op.boundDone
+		c.pendingOp = op
+		c.pendingReq = &op.req
 	}
 
 	slot := c.tail
@@ -252,27 +428,16 @@ func (c *Core) dispatchMem(rec *trace.Record, now uint64) bool {
 		entry.done = true
 		entry.doneAt = now + c.cfg.ExecLatency
 	}
-	// The LSQ release flag lives in the closure, not the ROB entry: a
-	// store may retire (and its ROB slot be reused) before its fill
-	// returns, so the entry cannot be trusted at completion time. A load's
-	// slot is safe — loads cannot retire before their own completion.
-	freed := false
-	issueAt := now
-	req.Done = func(cycle uint64) {
-		if isLoad {
-			c.rob[slot].done = true
-			c.rob[slot].doneAt = cycle
-			c.Stats.LoadLatencySum += cycle - issueAt
-		}
-		if !freed {
-			freed = true
-			c.lsqUsed--
-		}
-	}
+	// Refreshed on every dispatch attempt: the attempt that lands defines
+	// the issue cycle and ROB slot, exactly as the per-attempt closure
+	// rebuild used to.
+	op.slot = slot
+	op.issueAt = now
 	c.rob[slot] = entry
-	if !c.l1.TryEnqueue(req) {
+	if !c.l1.TryEnqueue(&op.req) {
 		return false
 	}
+	c.pendingOp = nil
 	c.pendingReq = nil
 	c.tail = (c.tail + 1) % c.cfg.ROB
 	c.count++

@@ -108,7 +108,17 @@ type Controller struct {
 	busFreeAt []uint64 // per channel
 	lastWrite []bool   // per channel: direction of last transfer, for turnaround
 	draining  bool
-	burstLeft int // writes remaining in the current drain burst
+	burstLeft int  // writes remaining in the current drain burst
+	wakeDirty bool // external enqueue arrived; see TakeWakeDirty
+	// Power-of-two address-decode fast path (see New).
+	fastAddr  bool
+	drainHi   int // precomputed watermark: int(WriteQ*DrainHigh)
+	drainLo   int // precomputed watermark: int(WriteQ*DrainLow)
+	rowShift  uint
+	chShift   uint
+	chMask    uint64
+	bankShift uint
+	bankMask  uint64
 	// doneReads counts read transactions whose data transfer finished;
 	// the audit layer checks Stats.Reads == doneReads + len(inService)
 	// (every issued read is either delivered or still on the bus).
@@ -136,9 +146,22 @@ func New(cfg Config) *Controller {
 		busFreeAt: make([]uint64, cfg.Channels),
 		lastWrite: make([]bool, cfg.Channels),
 	}
+	// Address decode runs on every scheduling scan; when the geometry is
+	// all powers of two (every shipped config) the three divisions reduce
+	// to shifts and masks.
+	if isPow2(cfg.RowBytes) && isPow2(uint64(cfg.Channels)) && isPow2(uint64(cfg.Banks)) {
+		c.fastAddr = true
+		c.rowShift = log2(cfg.RowBytes)
+		c.chShift = log2(uint64(cfg.Channels))
+		c.chMask = uint64(cfg.Channels) - 1
+		c.bankShift = log2(uint64(cfg.Banks))
+		c.bankMask = uint64(cfg.Banks) - 1
+	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
+	c.drainHi = int(float64(cfg.WriteQ) * cfg.DrainHigh)
+	c.drainLo = int(float64(cfg.WriteQ) * cfg.DrainLow)
 	return c
 }
 
@@ -148,17 +171,38 @@ func (c *Controller) Config() Config { return c.cfg }
 // addressing: [row | bank | channel | column]; column covers one row
 // buffer, lines interleave across channels at row granularity.
 func (c *Controller) channelOf(line mem.Addr) int {
+	if c.fastAddr {
+		return int(uint64(line) >> c.rowShift & c.chMask)
+	}
 	return int(uint64(line) / c.cfg.RowBytes % uint64(c.cfg.Channels))
 }
 
 func (c *Controller) bankOf(line mem.Addr) int {
+	if c.fastAddr {
+		x := uint64(line) >> c.rowShift
+		return int(x&c.chMask)*c.cfg.Banks + int(x>>c.chShift&c.bankMask)
+	}
 	ch := c.channelOf(line)
 	b := int(uint64(line) / c.cfg.RowBytes / uint64(c.cfg.Channels) % uint64(c.cfg.Banks))
 	return ch*c.cfg.Banks + b
 }
 
 func (c *Controller) rowOf(line mem.Addr) int64 {
+	if c.fastAddr {
+		return int64(uint64(line) >> c.rowShift >> c.chShift >> c.bankShift)
+	}
 	return int64(uint64(line) / c.cfg.RowBytes / uint64(c.cfg.Channels) / uint64(c.cfg.Banks))
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // TryEnqueue accepts a request into the read or write queue. Writebacks and
@@ -171,6 +215,7 @@ func (c *Controller) TryEnqueue(r *mem.Request) bool {
 			return false
 		}
 		c.writeQ = append(c.writeQ, r)
+		c.wakeDirty = true
 		r.Complete(c.clock) // posted write
 		return true
 	default:
@@ -179,8 +224,18 @@ func (c *Controller) TryEnqueue(r *mem.Request) bool {
 			return false
 		}
 		c.readQ = append(c.readQ, r)
+		c.wakeDirty = true
 		return true
 	}
+}
+
+// TakeWakeDirty reports and clears the external-input flag (set on
+// every accepted enqueue). The event scheduler uses it to know when the
+// controller's cached wakeup may have moved earlier.
+func (c *Controller) TakeWakeDirty() bool {
+	d := c.wakeDirty
+	c.wakeDirty = false
+	return d
 }
 
 // ReadQLen and WriteQLen expose occupancy for tests and adaptive clients.
@@ -215,6 +270,66 @@ func (c *Controller) Tick(now uint64) {
 	}
 }
 
+// Wakeup reports the earliest future cycle at which Tick could change
+// state, or mem.WakeupNever when fully quiescent. Two families of events
+// matter: transfer completions (inService finish times) and issue
+// opportunities (bank readyAt for queued requests). On top of those,
+// drain-state transitions must be applied on the very next cycle:
+// draining and burstLeft are architectural (hashed) state and the
+// write-drain telemetry span stamps the flip cycle, so a pending flip —
+// possible because fill callbacks can enqueue writebacks after this
+// tick's updateDrainState ran — forces now+1.
+func (c *Controller) Wakeup(now uint64) uint64 {
+	if (!c.draining && len(c.writeQ) >= c.drainHi) || (c.draining && len(c.writeQ) <= c.drainLo) {
+		return now + 1 // pending draining flip
+	}
+	if c.burstLeft == 0 && (len(c.writeQ) >= c.cfg.WriteQ || (c.draining && len(c.writeQ) > 0)) {
+		return now + 1 // a write burst would start next tick
+	}
+	if c.burstLeft > 0 && len(c.writeQ) == 0 {
+		return now + 1 // stale burst credit is cleared next tick
+	}
+	w := mem.WakeupNever
+	for _, p := range c.inService {
+		if p.finish < w {
+			w = p.finish
+		}
+	}
+	// Reads issue as soon as a bank is ready, provided a service slot is
+	// free (slot exhaustion resolves at a finish time, already counted).
+	if len(c.inService) <= c.cfg.MaxInFlight {
+		for _, r := range c.readQ {
+			if ra := c.banks[c.bankOf(r.Line)].readyAt; ra < w {
+				w = ra
+			}
+		}
+	}
+	// Writes issue during a burst, or opportunistically when the read
+	// queue is idle with enough writes banked (or the controller fully
+	// idle). Outside those regimes a queued write cannot issue no matter
+	// what its bank does, and the regime itself only changes at an event
+	// we already track (read issue, completion, drain flip).
+	if len(c.writeQ) > 0 &&
+		(c.burstLeft > 0 ||
+			(len(c.readQ) == 0 && (len(c.writeQ) >= writeBurstMin || len(c.inService) == 0))) {
+		for _, r := range c.writeQ {
+			if ra := c.banks[c.bankOf(r.Line)].readyAt; ra < w {
+				w = ra
+			}
+		}
+	}
+	if w != mem.WakeupNever && w <= now {
+		w = now + 1
+	}
+	return w
+}
+
+// AdvanceClock fast-forwards the internal clock over skipped idle
+// cycles. The clock timestamps posted-write completions and the
+// write-drain telemetry span, so before simulating cycle X after a jump
+// it must read X-1, as a cycle-stepped run would have left it.
+func (c *Controller) AdvanceClock(now uint64) { c.clock = now }
+
 func (c *Controller) complete(now uint64) {
 	kept := c.inService[:0]
 	for _, p := range c.inService {
@@ -229,12 +344,10 @@ func (c *Controller) complete(now uint64) {
 }
 
 func (c *Controller) updateDrainState() {
-	high := int(float64(c.cfg.WriteQ) * c.cfg.DrainHigh)
-	low := int(float64(c.cfg.WriteQ) * c.cfg.DrainLow)
 	was := c.draining
-	if len(c.writeQ) >= high {
+	if len(c.writeQ) >= c.drainHi {
 		c.draining = true
-	} else if len(c.writeQ) <= low {
+	} else if len(c.writeQ) <= c.drainLo {
 		c.draining = false
 	}
 	if c.Tel != nil && c.draining != was {

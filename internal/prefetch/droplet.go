@@ -82,6 +82,15 @@ func (p *Droplet) OnCycle(cycle uint64, issue IssueFunc) {
 	p.pendingFills = p.pendingFills[:0]
 }
 
+// Wakeup implements CycleDriven: buffered edge-line fills are decoded on
+// the very next cycle; otherwise OnCycle is a no-op.
+func (p *Droplet) Wakeup(now uint64) uint64 {
+	if len(p.pendingFills) > 0 {
+		return now + 1
+	}
+	return mem.WakeupNever
+}
+
 func (p *Droplet) decode(edgeLine mem.Addr, issue IssueFunc) {
 	if p.Resolve == nil {
 		return

@@ -35,6 +35,16 @@ type Prefetcher interface {
 	OnCycle(cycle uint64, issue IssueFunc)
 }
 
+// CycleDriven is implemented by prefetchers whose OnCycle does real work
+// (replay engines, fill-buffer drains). Wakeup reports the earliest
+// future cycle at which OnCycle could change state — mem.WakeupNever
+// when quiescent — under the contract documented in internal/mem.
+// Prefetchers that do not implement CycleDriven are assumed to have a
+// no-op OnCycle and are never a reason to simulate a cycle.
+type CycleDriven interface {
+	Wakeup(now uint64) uint64
+}
+
 // Nop is a Prefetcher that never issues; it is the no-prefetch baseline.
 type Nop struct{}
 
@@ -85,6 +95,15 @@ func (f *RegionFilter) OnCycle(cycle uint64, issue IssueFunc) {
 	f.Inner.OnCycle(cycle, f.guard(issue))
 }
 
+// Wakeup implements CycleDriven by delegating to the wrapped prefetcher;
+// the filter itself has no cycle-driven state.
+func (f *RegionFilter) Wakeup(now uint64) uint64 {
+	if cd, ok := f.Inner.(CycleDriven); ok {
+		return cd.Wakeup(now)
+	}
+	return mem.WakeupNever
+}
+
 func (f *RegionFilter) guard(issue IssueFunc) IssueFunc {
 	return func(line mem.Addr) bool {
 		if f.Excluded != nil && f.Excluded(line) {
@@ -128,4 +147,19 @@ func (c Combine) OnCycle(cycle uint64, issue IssueFunc) {
 	for _, p := range c {
 		p.OnCycle(cycle, issue)
 	}
+}
+
+// Wakeup implements CycleDriven as the minimum over cycle-driven members;
+// members that do not implement CycleDriven have no-op OnCycle bodies and
+// contribute nothing.
+func (c Combine) Wakeup(now uint64) uint64 {
+	w := mem.WakeupNever
+	for _, p := range c {
+		if cd, ok := p.(CycleDriven); ok {
+			if v := cd.Wakeup(now); v < w {
+				w = v
+			}
+		}
+	}
+	return w
 }

@@ -534,6 +534,54 @@ func (e *Engine) OnCycle(cycle uint64, issue prefetch.IssueFunc) {
 	}
 }
 
+// Wakeup implements prefetch.CycleDriven: it mirrors OnCycle's gating
+// conditions and reports now+1 whenever any of them could make progress,
+// mem.WakeupNever otherwise. Every predicate below is a pure read of
+// state that only changes inside OnCycle or a completion callback (both
+// of which trigger a wakeup recomputation), so "no branch can progress
+// now" really means "no branch can progress until external input".
+func (e *Engine) Wakeup(now uint64) uint64 {
+	if e.Arch.State != StateReplay || len(e.seq) == 0 {
+		return mem.WakeupNever
+	}
+	if e.meta == nil {
+		// Unit-test mode: streamMetadata snaps the fetch cursors forward.
+		if e.fetchedIdx != len(e.seq) || e.divFetched != len(e.div) {
+			return now + 1
+		}
+	} else {
+		// Mirror streamMetadata's issue loops (maxLinesInFlight = 4 seq
+		// lines, 2 div lines). An enqueue that the metadata backend then
+		// rejects still terminates: the cursors did not move, the backend
+		// drains, and its completion re-triggers evaluation.
+		if e.metaInFly < 4 && e.metaIssued < len(e.seq) &&
+			e.metaIssued-e.nextIdx < 2*SeqEntriesPerBuffer {
+			return now + 1
+		}
+		if e.divInFly < 2 && e.divIssued < len(e.div) &&
+			e.divIssued-e.curWindow < 2*DivEntriesPerBuffer {
+			return now + 1
+		}
+	}
+	if e.curWindow < e.divFetched && e.curWindow < len(e.div) &&
+		e.curStructRead >= e.div[e.curWindow] {
+		return now + 1 // advanceWindow would move Cur Window
+	}
+	if e.retryValid {
+		return now + 1 // a failed issue retries (and is counted) every cycle
+	}
+	if e.nextIdx < len(e.seq) && e.nextIdx < e.fetchedIdx {
+		if e.Control != NoControl && e.Arch.WindowSize > 0 &&
+			e.nextIdx/int(e.Arch.WindowSize) < e.curWindow {
+			return now + 1 // window skip would advance nextIdx
+		}
+		if e.eligible(e.nextIdx) {
+			return now + 1
+		}
+	}
+	return mem.WakeupNever
+}
+
 // entryLine reconstructs the prefetch address from a sequence entry and
 // the *current* boundary base (Base+Offset, §IV-B).
 func (e *Engine) entryLine(entry SeqEntry) (mem.Addr, bool) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -41,6 +42,28 @@ func newTestManager(t *testing.T, opts Options) *Manager {
 // testSpec is the canonical fast test simulation (~0.2s at test scale).
 func testSpec() RunSpec {
 	return RunSpec{Workload: "pagerank", Input: "urand", Prefetcher: "none", Scale: "test"}
+}
+
+// holdRuns blocks every fresh simulation at its start until the
+// returned release func is called. The queue-full tests need the
+// worker provably occupied while they fill the queue; with the
+// event-driven core a test-scale run finishes in milliseconds, so
+// racing the real sim duration is no longer reliable. Must be called
+// before any job is submitted at the scale (the worker reads
+// Suite.Progress without locking).
+func holdRuns(t *testing.T, m *Manager, scale string) (release func()) {
+	t.Helper()
+	s := m.suite(scale)
+	progress := s.Progress
+	gate := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(gate) }) }
+	s.Progress = func(key string) {
+		progress(key)
+		<-gate
+	}
+	t.Cleanup(release) // runs before the manager's Shutdown cleanup
+	return release
 }
 
 func waitState(t *testing.T, j *Job, want JobState, timeout time.Duration) {
@@ -278,6 +301,7 @@ func TestAbandonment(t *testing.T) {
 // checks the third submission is rejected with ErrQueueFull.
 func TestQueueFullRejects(t *testing.T) {
 	m := newTestManager(t, Options{Workers: 1, QueueDepth: 1})
+	holdRuns(t, m, "test")
 
 	j1, _, err := m.SubmitRun(testSpec())
 	if err != nil {

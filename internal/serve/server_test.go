@@ -256,6 +256,7 @@ func TestHTTPClientDisconnectCancels(t *testing.T) {
 // TestHTTPQueueFull exercises 429 + Retry-After over the wire.
 func TestHTTPQueueFull(t *testing.T) {
 	ts, m := newTestServer(t, Options{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+	holdRuns(t, m, "test")
 	r1 := postJSON(t, ts.URL+"/v1/runs", testSpec())
 	v1 := decodeView(t, r1)
 	j1, err := m.Job(v1.ID)

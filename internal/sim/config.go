@@ -109,6 +109,13 @@ type Config struct {
 	// live per-phase progress ticks. It runs on the simulation
 	// goroutine: it must be cheap and must not block.
 	OnIteration func(iter int, cycle uint64)
+
+	// ForceCycleStepped disables the event-driven scheduler and runs the
+	// legacy one-Tick-per-cycle loop. Results are byte-identical either
+	// way (the differential tests prove it); this exists as the reference
+	// engine for those tests and as an escape hatch while debugging
+	// wakeup computations.
+	ForceCycleStepped bool
 }
 
 // Baseline returns the paper's Table II machine: 4-core 4 GHz OoO with

@@ -53,6 +53,20 @@ func (cs *ctxSwitch) tick(s *System, now uint64) bool {
 	return cs.out
 }
 
+// wakeup reports the next cycle at which the state machine transitions:
+// the scheduled switch-in while descheduled, the next switch-out
+// otherwise. A Duration of 0 makes resumeAt == the switch-out cycle — a
+// genuine in-the-past wakeup that the scheduler must clamp to now+1.
+func (cs *ctxSwitch) wakeup() uint64 {
+	if cs.cfg.Period == 0 {
+		return WakeupNever
+	}
+	if cs.out {
+		return cs.resumeAt
+	}
+	return cs.nextAt
+}
+
 func (cs *ctxSwitch) switchOut(s *System, now uint64) {
 	cs.out = true
 	cs.outStart = now

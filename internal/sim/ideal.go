@@ -49,6 +49,26 @@ func (c *idealLLC) TryEnqueue(r *mem.Request) bool {
 	return c.lower.TryEnqueue(&inner)
 }
 
+// wakeup reports the earliest pending-hit completion, or mem.WakeupNever
+// when nothing is buffered (misses complete via the lower backend's
+// callbacks, not this tick).
+func (c *idealLLC) wakeup(now uint64) uint64 {
+	w := mem.WakeupNever
+	for _, p := range c.pending {
+		if p.finish < w {
+			w = p.finish
+		}
+	}
+	if w != mem.WakeupNever && w <= now {
+		w = now + 1
+	}
+	return w
+}
+
+// advanceClock fast-forwards the clock over skipped idle cycles; the
+// clock timestamps hit completions and absorbed writebacks.
+func (c *idealLLC) advanceClock(now uint64) { c.clock = now }
+
 // Tick completes buffered hits.
 func (c *idealLLC) Tick(now uint64) {
 	c.clock = now

@@ -65,7 +65,45 @@ type System struct {
 	// *instances*, never kinds, so the flags stay valid across swaps.
 	ctxOn       bool
 	cycleDriven []bool
+
+	// Event-driven scheduler state (see runEventDriven). pfWake caches
+	// the CycleDriven assertion per core (refreshed whenever the
+	// prefetcher instance is swapped); nil with cycleDriven set means the
+	// prefetcher's wakeup is unknown and every cycle must be simulated.
+	pfWake       []prefetch.CycleDriven
+	nextSampleAt uint64 // next telemetry sample event (WakeupNever when off)
+	nextAuditAt  uint64 // next audit sweep event (WakeupNever when off)
+	ticked       uint64 // cycles actually simulated (diagnostics/tests only)
+
+	// Cached per-component wakeups. A cached value stays valid until the
+	// component ticks (the scheduler clears the OK flag) or receives
+	// external input (the component sets its wake-dirty flag, checked at
+	// every use via TakeWakeDirty). Cores additionally invalidate when
+	// their L1 ticks (Core.Wakeup probes L1 demand capacity) and when the
+	// iteration barrier opens or a context switch fires (both change the
+	// fetch gate without touching the core).
+	coreWake   []uint64
+	l1Wake     []uint64
+	l2Wake     []uint64
+	llcWake    uint64
+	mcWake     uint64
+	coreWakeOK []bool
+	l1WakeOK   []bool
+	l2WakeOK   []bool
+	llcWakeOK  bool
+	mcWakeOK   bool
+
+	// Done memoisation: Tick sets doneDirty, Done recomputes at most once
+	// per tick, and coresDone latches the (monotone) all-cores-drained
+	// scan so steady-state Done checks skip the core loop entirely.
+	doneDirty  bool
+	doneCached bool
+	coresDone  bool
 }
+
+// WakeupNever is re-exported for components and tests that interact with
+// the scheduler through the sim package.
+const WakeupNever = mem.WakeupNever
 
 // barrier implements the SPMD iteration barrier of §VI: workers wait at
 // iteration ends until every core (or a drained core) arrives.
@@ -74,6 +112,10 @@ type barrier struct {
 	done    func(core int) bool
 	onOpen  func(iter int32)
 	iter    []int32
+	// flipped records that an open released at least one waiting core —
+	// their fetch gates changed without any core-local event, so the
+	// event scheduler must invalidate cached core wakeups.
+	flipped bool
 }
 
 func newBarrier(n int) *barrier {
@@ -96,6 +138,7 @@ func (b *barrier) maybeOpen() {
 	for c := range b.waiting {
 		if b.waiting[c] {
 			iter = b.iter[c]
+			b.flipped = true
 		}
 		b.waiting[c] = false
 	}
@@ -142,6 +185,13 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	s.droplets = make([]*prefetch.Droplet, cfg.Cores)
 	s.issueFns = make([]prefetch.IssueFunc, cfg.Cores)
 	s.cycleDriven = make([]bool, cfg.Cores)
+	s.pfWake = make([]prefetch.CycleDriven, cfg.Cores)
+	s.coreWake = make([]uint64, cfg.Cores)
+	s.l1Wake = make([]uint64, cfg.Cores)
+	s.l2Wake = make([]uint64, cfg.Cores)
+	s.coreWakeOK = make([]bool, cfg.Cores)
+	s.l1WakeOK = make([]bool, cfg.Cores)
+	s.l2WakeOK = make([]bool, cfg.Cores)
 
 	for c := 0; c < cfg.Cores; c++ {
 		l2cfg := cfg.L2
@@ -161,6 +211,18 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	s.registerObs()
 	s.registerTelemetry()
 	s.registerAudit()
+	// Sampling and audit sweeps become scheduled events so the event-
+	// driven loop fires them at exactly the cycles the stepped loop would
+	// (the scheduler never jumps past nextSampleAt/nextAuditAt).
+	s.nextSampleAt = WakeupNever
+	if s.tel != nil {
+		s.nextSampleAt = s.sampleEvery
+	}
+	s.nextAuditAt = WakeupNever
+	if s.aud != nil {
+		s.nextAuditAt = s.auditEvery
+	}
+	s.doneDirty = true
 	return s, nil
 }
 
@@ -244,6 +306,15 @@ func (s *System) wirePrefetcher(c int) {
 			s.prefs[c] = prefetch.Combine{e, nl}
 		} else {
 			s.prefs[c] = e
+		}
+	}
+	// Cache the CycleDriven assertion for the scheduler. wirePrefetcher
+	// also runs on context switch-in (instance swap), so the cache stays
+	// in sync with s.prefs[c].
+	s.pfWake[c] = nil
+	if s.cycleDriven[c] {
+		if cd, ok := s.prefs[c].(prefetch.CycleDriven); ok {
+			s.pfWake[c] = cd
 		}
 	}
 }
@@ -350,6 +421,8 @@ func (s *System) metaHook(c int) func(write bool, addr mem.Addr) {
 // Tick advances the machine one cycle.
 func (s *System) Tick() {
 	s.cycle++
+	s.ticked++
+	s.doneDirty = true
 	now := s.cycle
 	switchedOut := false
 	if s.ctxOn {
@@ -377,17 +450,215 @@ func (s *System) Tick() {
 	}
 	s.mc.Tick(now)
 	s.barrier.maybeOpen()
-	if s.tel != nil && now%s.sampleEvery == 0 {
-		s.tel.Sample(now)
+	if s.tel != nil && now >= s.nextSampleAt {
+		// Record the last crossed sampleEvery multiple, not now: a caller
+		// stepping the clock in jumps may land past the multiple, and the
+		// sample must carry the cycle stamp the stepped engine would have
+		// used. (The event-driven scheduler additionally never jumps past
+		// nextSampleAt, because probes read live state — e.g. cpu ipc
+		// reads Stats.Cycles — so the machine must be ticked at exactly
+		// the sample cycle for the values to match the stepped engine.)
+		stamp := now - now%s.sampleEvery
+		s.tel.Sample(stamp)
+		s.nextSampleAt = stamp + s.sampleEvery
 	}
-	if s.aud != nil && now%s.auditEvery == 0 {
+	if s.aud != nil && now >= s.nextAuditAt {
 		s.aud.Check(now)
+		s.nextAuditAt = now - now%s.auditEvery + s.auditEvery
+	}
+}
+
+// refreshGates invalidates cached core wakeups when the iteration
+// barrier released waiting cores: their fetch gates changed without any
+// core-local event, which cached values cannot see.
+func (s *System) refreshGates() {
+	if s.barrier.flipped {
+		s.barrier.flipped = false
+		for i := range s.coreWakeOK {
+			s.coreWakeOK[i] = false
+		}
+	}
+}
+
+// The *WakeAt accessors return the component's wakeup, recomputing only
+// when the cached value is gone (component ticked) or stale (external
+// input set the component's wake-dirty flag). Frozen components — the
+// common case — cost two boolean loads per cycle instead of a wakeup
+// evaluation.
+
+func (s *System) coreWakeAt(i int, now uint64) uint64 {
+	if s.cores[i].TakeWakeDirty() || !s.coreWakeOK[i] {
+		s.coreWake[i] = s.cores[i].Wakeup(now)
+		s.coreWakeOK[i] = true
+	}
+	return s.coreWake[i]
+}
+
+func (s *System) l1WakeAt(i int, now uint64) uint64 {
+	if s.l1s[i].TakeWakeDirty() || !s.l1WakeOK[i] {
+		s.l1Wake[i] = s.l1s[i].Wakeup(now)
+		s.l1WakeOK[i] = true
+	}
+	return s.l1Wake[i]
+}
+
+func (s *System) l2WakeAt(i int, now uint64) uint64 {
+	if s.l2s[i].TakeWakeDirty() || !s.l2WakeOK[i] {
+		s.l2Wake[i] = s.l2s[i].Wakeup(now)
+		s.l2WakeOK[i] = true
+	}
+	return s.l2Wake[i]
+}
+
+func (s *System) llcWakeAt(now uint64) uint64 {
+	if s.llc.TakeWakeDirty() || !s.llcWakeOK {
+		s.llcWake = s.llc.Wakeup(now)
+		s.llcWakeOK = true
+	}
+	return s.llcWake
+}
+
+func (s *System) mcWakeAt(now uint64) uint64 {
+	if s.mc.TakeWakeDirty() || !s.mcWakeOK {
+		s.mcWake = s.mc.Wakeup(now)
+		s.mcWakeOK = true
+	}
+	return s.mcWake
+}
+
+// tickGated simulates one cycle like Tick, but consults each component's
+// wakeup just-in-time — in tick order, so work enqueued upstream earlier
+// in the same cycle is visible — and skips the component's Tick when it
+// has nothing due, charging the one-cycle accounting (Core.SkipIdle,
+// AdvanceClock) instead. This is the event engine's dense-region fast
+// path: in regions where *some* component acts every cycle (so the
+// global next-wakeup jump degenerates to stepping), most individual
+// components are still idle, and a skipped component Tick is provably a
+// no-op by the same wakeup contract that justifies multi-cycle jumps.
+// State evolution is byte-identical to Tick.
+func (s *System) tickGated() {
+	s.cycle++
+	s.ticked++
+	s.doneDirty = true
+	now := s.cycle
+	prev := now - 1
+	switchedOut := false
+	if s.ctxOn {
+		outBefore := s.ctx.out
+		switchedOut = s.ctx.tick(s, now)
+		if s.ctx.out != outBefore {
+			// A switch fired: fetch gating changed under every core.
+			for i := range s.coreWakeOK {
+				s.coreWakeOK[i] = false
+			}
+		}
+	}
+	if !switchedOut {
+		for c := range s.cores {
+			// A barrier release earlier in this loop (the last worker's
+			// marker dispatch) un-gates cores later in tick order, so the
+			// flip check runs per core, not once per cycle.
+			s.refreshGates()
+			if s.coreWakeAt(c, prev) <= now {
+				s.coreWakeOK[c] = false
+				s.cores[c].Tick(now)
+			} else {
+				s.cores[c].SkipIdle(1)
+			}
+		}
+	}
+	for c := range s.cores {
+		if s.l1WakeAt(c, prev) <= now {
+			s.l1WakeOK[c] = false
+			// Core.Wakeup probes L1 demand capacity; an L1 tick may free
+			// read-queue space the cached core wakeup could not see.
+			s.coreWakeOK[c] = false
+			s.l1s[c].Tick(now)
+		} else {
+			s.l1s[c].AdvanceClock(now)
+		}
+		if s.l2WakeAt(c, prev) <= now {
+			s.l2WakeOK[c] = false
+			s.l2s[c].Tick(now)
+		} else {
+			s.l2s[c].AdvanceClock(now)
+		}
+		if s.cycleDriven[c] {
+			if pw := s.pfWake[c]; pw == nil || pw.Wakeup(prev) <= now {
+				s.prefs[c].OnCycle(now, s.issueFns[c])
+			}
+		}
+	}
+	if s.llc != nil {
+		if s.llcWakeAt(prev) <= now {
+			s.llcWakeOK = false
+			s.llc.Tick(now)
+		} else {
+			s.llc.AdvanceClock(now)
+		}
+	}
+	if s.ideal != nil {
+		if s.ideal.wakeup(prev) <= now {
+			s.ideal.Tick(now)
+		} else {
+			s.ideal.advanceClock(now)
+		}
+	}
+	if s.mcWakeAt(prev) <= now {
+		s.mcWakeOK = false
+		s.mc.Tick(now)
+	} else {
+		s.mc.AdvanceClock(now)
+	}
+	s.barrier.maybeOpen()
+	if s.tel != nil && now >= s.nextSampleAt {
+		stamp := now - now%s.sampleEvery
+		s.tel.Sample(stamp)
+		s.nextSampleAt = stamp + s.sampleEvery
+	}
+	if s.aud != nil && now >= s.nextAuditAt {
+		s.aud.Check(now)
+		s.nextAuditAt = now - now%s.auditEvery + s.auditEvery
 	}
 }
 
 // Done reports whether every core has drained and the memory system is
-// quiet.
+// quiet. The scan is memoised: Tick invalidates, so repeated Done calls
+// between ticks (the run loops make two per cycle) cost one bool check,
+// and the per-core scan latches once all cores drain — core doneness is
+// monotone (a drained core never refills), the memory side is not (a
+// posted writeback can leave the controller momentarily quiet).
 func (s *System) Done() bool {
+	if s.doneDirty {
+		s.doneDirty = false
+		s.doneCached = s.computeDone()
+	}
+	return s.doneCached
+}
+
+func (s *System) computeDone() bool {
+	if !s.coresDone {
+		for _, c := range s.cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		s.coresDone = true
+	}
+	for i := range s.l1s {
+		if s.l1s[i].Pending() > 0 || s.l2s[i].Pending() > 0 {
+			return false
+		}
+	}
+	if s.llc != nil && s.llc.Pending() > 0 {
+		return false
+	}
+	return s.mc.Pending() == 0
+}
+
+// legacyDone is the original unmemoised predicate, kept verbatim (and
+// side-effect free) as the reference for the Done regression test.
+func (s *System) legacyDone() bool {
 	for _, c := range s.cores {
 		if !c.Done() {
 			return false
@@ -403,6 +674,14 @@ func (s *System) Done() bool {
 	}
 	return s.mc.Pending() == 0
 }
+
+// TickedCycles reports how many cycles were actually simulated (as
+// opposed to skipped by the event-driven scheduler). Diagnostics only —
+// deliberately not part of Result, which must be engine-independent.
+func (s *System) TickedCycles() uint64 { return s.ticked }
+
+// Cycle reports the current simulated cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
 
 // Run drives the machine to completion and returns the collected result.
 func Run(cfg Config, app *apps.App) (*Result, error) {
@@ -453,33 +732,27 @@ func (s *System) RunAll() (*Result, error) {
 // every CancelCheckInterval cycles. A cancelled run returns a wrapped
 // ctx error (matching errors.Is against context.Canceled or
 // context.DeadlineExceeded) and increments CounterRunsCancelled.
+//
+// Two engines drive the same Tick: the event-driven scheduler (default)
+// jumps straight to the next cycle at which any component, sample,
+// audit sweep or context switch can act, and the legacy cycle-stepped
+// loop (Config.ForceCycleStepped) ticks every cycle. Results, state
+// hashes, telemetry and audit sweeps are byte-identical between the two;
+// the differential tests in event_test.go and the fuzz harness hold the
+// engines to that.
 func (s *System) RunAllContext(ctx context.Context) (*Result, error) {
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
-	for !s.Done() {
-		if err := ctx.Err(); err != nil {
-			runsCancelled.Inc()
-			return nil, fmt.Errorf("sim: %s on %s/%s cancelled at cycle %d: %w",
-				s.cfg.Name, s.app.Name, s.app.Input, s.cycle, err)
-		}
-		batchEnd := s.cycle + CancelCheckInterval
-		for !s.Done() && s.cycle < batchEnd {
-			if s.cycle >= maxCycles {
-				return nil, fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
-					s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
-			}
-			s.Tick()
-		}
-		// FailFast aborts at tick-batch boundaries, so a violating run
-		// stops within one batch of the failing sweep.
-		if s.aud != nil && s.aud.FailFast() {
-			if err := s.aud.Err(); err != nil {
-				return nil, fmt.Errorf("sim: %s on %s/%s: %w",
-					s.cfg.Name, s.app.Name, s.app.Input, err)
-			}
-		}
+	var err error
+	if s.cfg.ForceCycleStepped {
+		err = s.runCycleStepped(ctx, maxCycles)
+	} else {
+		err = s.runEventDriven(ctx, maxCycles)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if s.tel != nil && s.cycle%s.sampleEvery != 0 {
 		s.tel.Sample(s.cycle) // capture the final, post-drain state
@@ -492,6 +765,168 @@ func (s *System) RunAllContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	return s.collect(), nil
+}
+
+// runCycleStepped is the legacy engine: one Tick per cycle.
+func (s *System) runCycleStepped(ctx context.Context, maxCycles uint64) error {
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			runsCancelled.Inc()
+			return fmt.Errorf("sim: %s on %s/%s cancelled at cycle %d: %w",
+				s.cfg.Name, s.app.Name, s.app.Input, s.cycle, err)
+		}
+		batchEnd := s.cycle + CancelCheckInterval
+		for !s.Done() && s.cycle < batchEnd {
+			if s.cycle >= maxCycles {
+				return fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
+					s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
+			}
+			s.Tick()
+		}
+		// FailFast aborts at tick-batch boundaries, so a violating run
+		// stops within one batch of the failing sweep.
+		if s.aud != nil && s.aud.FailFast() {
+			if err := s.aud.Err(); err != nil {
+				return fmt.Errorf("sim: %s on %s/%s: %w",
+					s.cfg.Name, s.app.Name, s.app.Input, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runEventDriven is the next-wakeup engine. It mirrors runCycleStepped's
+// structure exactly — same cancellation batches, same maxCycles check,
+// same FailFast points — but instead of ticking every cycle it asks
+// every component for its wakeup and simulates only the minimum. Cycles
+// in between are provably inert: skipping them is accounted for by
+// Core.SkipIdle (stall/cycle counters) and the AdvanceClock calls
+// (internal clock stamps), after which the regular Tick runs unchanged.
+func (s *System) runEventDriven(ctx context.Context, maxCycles uint64) error {
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			runsCancelled.Inc()
+			return fmt.Errorf("sim: %s on %s/%s cancelled at cycle %d: %w",
+				s.cfg.Name, s.app.Name, s.app.Input, s.cycle, err)
+		}
+		batchEnd := s.cycle + CancelCheckInterval
+		for !s.Done() && s.cycle < batchEnd {
+			if s.cycle >= maxCycles {
+				return fmt.Errorf("sim: %s on %s/%s exceeded %d cycles",
+					s.cfg.Name, s.app.Name, s.app.Input, maxCycles)
+			}
+			limit := batchEnd
+			if maxCycles < limit {
+				limit = maxCycles
+			}
+			s.advanceTo(s.nextWakeup(limit))
+		}
+		if s.aud != nil && s.aud.FailFast() {
+			if err := s.aud.Err(); err != nil {
+				return fmt.Errorf("sim: %s on %s/%s: %w",
+					s.cfg.Name, s.app.Name, s.app.Input, err)
+			}
+		}
+	}
+	return nil
+}
+
+// nextWakeup returns the next cycle worth simulating: the minimum over
+// all component wakeups and scheduled events (telemetry sample, audit
+// sweep, context switch), clamped to (s.cycle, limit]. Wakeups at or
+// before s.cycle — legal under the contract, meaning "as soon as
+// possible" — are treated as s.cycle+1, never skipped. The scan early-
+// exits once the minimum hits s.cycle+1 since nothing can beat it.
+func (s *System) nextWakeup(limit uint64) uint64 {
+	now := s.cycle
+	s.refreshGates()
+	min := limit
+	consider := func(w uint64) bool {
+		if w <= now {
+			w = now + 1
+		}
+		if w < min {
+			min = w
+		}
+		return min == now+1
+	}
+	if s.ctxOn && consider(s.ctx.wakeup()) {
+		return min
+	}
+	if s.tel != nil && consider(s.nextSampleAt) {
+		return min
+	}
+	if s.aud != nil && consider(s.nextAuditAt) {
+		return min
+	}
+	if !s.ctx.out {
+		// While descheduled the cores are frozen — their wakeups are
+		// meaningless until the switch-in (already counted above) — and
+		// they must not drag the scheduler into dense stepping.
+		for i := range s.cores {
+			if consider(s.coreWakeAt(i, now)) {
+				return min
+			}
+		}
+	}
+	for i := range s.l1s {
+		if consider(s.l1WakeAt(i, now)) {
+			return min
+		}
+		if consider(s.l2WakeAt(i, now)) {
+			return min
+		}
+	}
+	for c := range s.prefs {
+		if !s.cycleDriven[c] {
+			continue
+		}
+		if pw := s.pfWake[c]; pw != nil {
+			if consider(pw.Wakeup(now)) {
+				return min
+			}
+		} else {
+			// Cycle-driven prefetcher without a Wakeup: simulate densely.
+			return now + 1
+		}
+	}
+	if s.llc != nil && consider(s.llcWakeAt(now)) {
+		return min
+	}
+	if s.ideal != nil && consider(s.ideal.wakeup(now)) {
+		return min
+	}
+	consider(s.mcWakeAt(now))
+	return min
+}
+
+// advanceTo jumps the machine to cycle next and simulates it. The
+// skipped cycles (s.cycle, next) are charged to the cores' idle-cycle
+// accounting (suppressed while descheduled, when stepped cores would
+// not tick either) and the component clocks are fast-forwarded to
+// next-1, exactly the state a stepped run would carry into cycle next.
+func (s *System) advanceTo(next uint64) {
+	if gap := next - s.cycle - 1; gap > 0 {
+		if !s.ctx.out {
+			for _, c := range s.cores {
+				c.SkipIdle(gap)
+			}
+		}
+		prev := next - 1
+		for i := range s.l1s {
+			s.l1s[i].AdvanceClock(prev)
+			s.l2s[i].AdvanceClock(prev)
+		}
+		if s.llc != nil {
+			s.llc.AdvanceClock(prev)
+		}
+		if s.ideal != nil {
+			s.ideal.advanceClock(prev)
+		}
+		s.mc.AdvanceClock(prev)
+		s.cycle = prev
+	}
+	s.tickGated()
 }
 
 // Snapshot returns a one-line progress dump for debugging stalled runs.
