@@ -13,6 +13,7 @@ import (
 	"rnrsim"
 	"rnrsim/internal/apps"
 	"rnrsim/internal/bench"
+	"rnrsim/internal/multicore"
 	"rnrsim/internal/obs"
 	"rnrsim/internal/sim"
 )
@@ -108,6 +109,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			cfg.ForceCycleStepped = true
 		})
 	})
+
+	// The /2core pair measures the full multicore machine — a composed
+	// PageRank+spCG co-run behind the coherence directory, a 2-bank LLC
+	// and the cross-core prefetcher — on both engines, so the perf
+	// trajectory tracks what the coherent path costs relative to /base.
+	coApp, err := multicore.Compose(rnrsim.ScaleTest, []multicore.JobSpec{
+		{Workload: "pagerank", Input: "urand"},
+		{Workload: "spcg", Input: "bbmat"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run2 := func(b *testing.B, stepped bool) {
+		b.ResetTimer()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cfg := rnrsim.TestMachine()
+			cfg.Cores = 2
+			cfg.Coherence = true
+			cfg.LLCBanks = 2
+			cfg.CrossCore = true
+			cfg.ForceCycleStepped = stepped
+			r, err := rnrsim.Simulate(cfg, coApp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += r.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("2core", func(b *testing.B) { run2(b, false) })
+	b.Run("2core-stepped", func(b *testing.B) { run2(b, true) })
 }
 
 // BenchmarkRnRReplay measures the full RnR pipeline (record + replay);

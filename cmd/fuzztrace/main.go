@@ -45,6 +45,11 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", 5_000_000, "abort a wedged interleaving after this many cycles")
 	forceStepped := flag.Bool("force-cycle-stepped", false,
 		"drive the sweep with the legacy cycle-stepped engine instead of the event-driven scheduler (differential debugging: a hash that changes with this flag is a wakeup bug)")
+	coherent := flag.Bool("coherence", false,
+		"attach the MESI-lite coherence directory so its invariants (single owner, sharer masks, no stale hits) are fuzzed too — the fuzzer's shared store targets are the directory's worst case")
+	llcBanks := flag.Int("llc-banks", 0, "split the shared LLC into this many banks (power of two; 0 = monolithic)")
+	crossCore := flag.Bool("crosscore", false,
+		"attach the cooperative cross-core LLC prefetcher so its table state is folded into the fuzzed hash")
 	obsOn := flag.Bool("obs", false,
 		"attach the prefetch-lifecycle flight recorder so its conservation law is fuzzed alongside the architectural invariants")
 	verbose := flag.Bool("v", false, "print one line per run instead of a final summary")
@@ -78,6 +83,9 @@ func main() {
 			cfg.Audit = &audit.Config{Interval: *interval}
 			cfg.MaxCycles = *maxCycles
 			cfg.ForceCycleStepped = *forceStepped
+			cfg.Coherence = *coherent
+			cfg.LLCBanks = *llcBanks
+			cfg.CrossCore = *crossCore
 			if *obsOn {
 				cfg.Obs = &obs.Config{}
 			}

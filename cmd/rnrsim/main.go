@@ -45,6 +45,7 @@ import (
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/audit"
+	"rnrsim/internal/multicore"
 	"rnrsim/internal/obs"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/sim"
@@ -55,6 +56,12 @@ func main() {
 	workload := flag.String("workload", "pagerank", "pagerank, hyperanf or spcg")
 	input := flag.String("input", "urand", "input name (see DESIGN.md Table III)")
 	scale := flag.String("scale", "bench", "input scale: test, bench or large")
+	cores := flag.Int("cores", 0, "core-count override for the SPMD workload (0 = machine default)")
+	corun := flag.String("corun", "",
+		`multi-programmed co-run "workload.input,workload.input,...": one program per core behind a `+
+			`coherent 2-bank shared LLC (overrides -workload/-input/-cores)`)
+	crosscore := flag.Bool("crosscore", false,
+		"attach the cooperative cross-core LLC prefetcher (trained on LLC miss streams, issues across cores)")
 	pfs := flag.String("prefetchers", "rnr,rnr-combined,nextline",
 		"comma-separated prefetchers (none,nextline,stream,ghb,misb,bingo,stems,droplet,imp,rnr,rnr-combined)")
 	window := flag.Uint64("window", 0, "RnR window size in lines (0 = half the L2)")
@@ -106,12 +113,28 @@ func main() {
 		fatal("unknown control %q", *control)
 	}
 
-	app, err := apps.Build(*workload, *input, sc)
+	var app *apps.App
+	switch {
+	case *corun != "":
+		var jobSpecs []multicore.JobSpec
+		for _, field := range strings.Split(*corun, ",") {
+			j, err := multicore.ParseJob(strings.TrimSpace(field))
+			if err != nil {
+				fatal("%v", err)
+			}
+			jobSpecs = append(jobSpecs, j)
+		}
+		app, err = multicore.Compose(sc, jobSpecs)
+	case *cores > 0:
+		app, err = apps.BuildCores(*workload, *input, sc, *cores)
+	default:
+		app, err = apps.Build(*workload, *input, sc)
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "built %s/%s: %d records, %d instructions\n",
-		app.Name, app.Input, app.Records(), app.Instructions())
+	fmt.Fprintf(os.Stderr, "built %s/%s: %d cores, %d records, %d instructions\n",
+		app.Name, app.Input, app.Cores, app.Records(), app.Instructions())
 
 	mk := func(pf sim.PrefetcherKind) sim.Config {
 		// Pair the machine with the input scale: the miniature machine
@@ -124,6 +147,16 @@ func main() {
 		cfg.Prefetcher = pf
 		cfg.RnRWindow = *window
 		cfg.RnRControl = ctl
+		if *corun != "" {
+			// One core per composed program, interacting only through the
+			// coherent shared LLC.
+			cfg.Cores = app.Cores
+			cfg.Coherence = true
+			cfg.LLCBanks = 2
+		} else if *cores > 0 {
+			cfg.Cores = *cores
+		}
+		cfg.CrossCore = *crosscore
 		if *auditOn {
 			cfg.Audit = &audit.Config{Interval: *auditInt}
 		}
@@ -189,6 +222,15 @@ func main() {
 				float64(r.RnR.MetadataBytes())/1024, r.StorageOverheadPct(),
 				r.RecordOverheadPct(base),
 				tl.OnTime*100, tl.Early*100, tl.Late*100, tl.OutOfWindow*100)
+		}
+		if r.Coherence != nil {
+			fmt.Printf("  coherence: fills %d upgrades %d invalidations %d downgrades %d evicts %d\n",
+				r.Coherence.Fills, r.Coherence.Upgrades, r.Coherence.Invalidations,
+				r.Coherence.Downgrades, r.Coherence.Evicts)
+		}
+		if r.CrossCore != nil {
+			fmt.Printf("  crosscore: trained %d lookups %d issued %d dropped %d\n",
+				r.CrossCore.Trained, r.CrossCore.Lookups, r.CrossCore.Issued, r.CrossCore.Dropped)
 		}
 		if r.Obs != nil {
 			lc := r.Obs.Lifecycle

@@ -52,6 +52,13 @@ type App struct {
 	// Check is an algorithm-specific correctness scalar (PageRank mass,
 	// HyperANF neighbourhood estimate, CG residual) for validation.
 	Check float64
+
+	// Groups partitions cores into barrier domains for multi-programmed
+	// runs: cores in the same group synchronise at iteration boundaries,
+	// cores in different groups free-run against each other. Nil means
+	// all cores form one SPMD group — the single-program shape every
+	// app builder emits, and the only shape before internal/multicore.
+	Groups [][]int
 }
 
 // Sources returns fresh trace sources over the app's per-core traces.

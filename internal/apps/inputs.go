@@ -134,25 +134,44 @@ var MatrixInputOrder = []string{"atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS"}
 // input (via GraphInput/MatrixInput), so concurrent Builds memoised per
 // (workload, input) never pay for inputs they discard.
 func Build(workload, input string, s Scale) (*App, error) {
+	return BuildCores(workload, input, s, 0)
+}
+
+// BuildCores is Build with an explicit SPMD core count; cores <= 0
+// keeps each workload's default partitioning. The multicore composer
+// uses cores == 1 to obtain single-core programs it can co-schedule.
+func BuildCores(workload, input string, s Scale, cores int) (*App, error) {
 	switch workload {
 	case "pagerank":
 		g, ok := GraphInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown graph input %q", input)
 		}
-		return PageRank(g, input, DefaultPageRank()), nil
+		cfg := DefaultPageRank()
+		if cores > 0 {
+			cfg.Cores = cores
+		}
+		return PageRank(g, input, cfg), nil
 	case "hyperanf":
 		g, ok := GraphInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown graph input %q", input)
 		}
-		return HyperANF(g, input, DefaultHyperANF()), nil
+		cfg := DefaultHyperANF()
+		if cores > 0 {
+			cfg.Cores = cores
+		}
+		return HyperANF(g, input, cfg), nil
 	case "spcg":
 		m, ok := MatrixInput(s, input)
 		if !ok {
 			return nil, fmt.Errorf("apps: unknown matrix input %q", input)
 		}
-		return SpCG(m, input, DefaultSpCG()), nil
+		cfg := DefaultSpCG()
+		if cores > 0 {
+			cfg.Cores = cores
+		}
+		return SpCG(m, input, cfg), nil
 	}
 	return nil, fmt.Errorf("apps: unknown workload %q", workload)
 }

@@ -404,7 +404,7 @@ func (s *Suite) All() []*Table {
 		s.Fig1(), s.TableII(), s.TableIII(), s.Fig6(), s.Fig7(), s.Fig8(),
 		s.Fig9(), s.Fig10(), s.Fig11(), s.Fig12(), s.Fig13(), s.Fig14(),
 		s.TableIV(), s.RecordOverhead(), s.HardwareOverhead(),
-		s.CtxSwitch(), s.CoreScaling(), s.DesignChoices(),
+		s.CtxSwitch(), s.CoreScaling(), s.DesignChoices(), s.CoRun(),
 	}
 }
 

@@ -42,7 +42,7 @@ var ExperimentIDs = []string{
 	"tableII", "tableIII", "fig1", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "tableIV",
 	"record-overhead", "hw-overhead", "ctx-switch", "core-scaling",
-	"design-choices",
+	"design-choices", "corun",
 }
 
 // experimentTitles names each experiment for discovery listings (the
@@ -66,6 +66,7 @@ var experimentTitles = map[string]string{
 	"ctx-switch":      "Context-switch resilience (PageRank/urand, periodic descheduling)",
 	"core-scaling":    "Multicore scalability (PageRank/amazon)",
 	"design-choices":  "§III design-choice ablation (PageRank/urand)",
+	"corun":           "Co-run interference: PageRank + spCG on a 2-core coherent LLC",
 }
 
 // ExperimentTitle returns a human-readable title for an experiment id
@@ -111,6 +112,8 @@ func (s *Suite) Runner(id string) (func() *Table, bool) {
 		return s.CoreScaling, true
 	case "design-choices":
 		return s.DesignChoices, true
+	case "corun":
+		return s.CoRun, true
 	}
 	return nil, false
 }
@@ -149,8 +152,9 @@ func eachInput(f func(w, in string)) {
 
 // planOne enumerates one experiment's runs, mirroring its runner. The
 // static tables (tableII/III/IV, hw-overhead) simulate nothing, and
-// core-scaling builds bespoke per-core-count systems outside the
-// memoised key space, so they plan empty.
+// core-scaling and corun build bespoke systems (per-core-count machines,
+// composed multi-programmed apps) outside the memoised key space, so
+// they plan empty.
 func (s *Suite) planOne(id string) []PlannedRun {
 	var p []PlannedRun
 	base := func(w, in string) {

@@ -814,6 +814,41 @@ func (c *Cache) RegisterProbes(tel *telemetry.Recorder, prefix string) {
 	})
 }
 
+// Invalidate drops the single resident line lineAddr, returning whether
+// it was present. This is the coherence invalidation path: a remote
+// store hit a line this cache shares, so the copy dies. Like
+// InvalidateAll, dirty data is dropped without writeback traffic (the
+// trace simulator carries no data; the modelled cost is the refetch)
+// and the drop is deliberately NOT routed through OnEvict — OnEvict
+// feeds the RnR engine's eviction bookkeeping, which must see only
+// capacity evictions, not remote stores. Still-unused prefetched lines
+// close their lifecycle records exactly as InvalidateAll closes them.
+func (c *Cache) Invalidate(lineAddr mem.Addr) bool {
+	set := c.setSlice(lineAddr)
+	for i := range set {
+		if set[i].tag == lineAddr {
+			c.wakeDirty = true
+			if c.Lifecycle != nil && set[i].prefetched {
+				c.Lifecycle.PrefetchEvictedUnused(lineAddr, c.clock)
+			}
+			set[i] = line{tag: invalidTag}
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachResident calls fn for every resident line. Audit sweeps use it
+// to compare a cache's actual contents against the coherence
+// directory's sharer masks; it is never on the tick path.
+func (c *Cache) ForEachResident(fn func(line mem.Addr)) {
+	for i := range c.sets {
+		if c.sets[i].tag != invalidTag {
+			fn(c.sets[i].tag)
+		}
+	}
+}
+
 // InvalidateAll drops every resident line, modelling the cache pollution
 // of a context switch (another process evicted everything while this one
 // was descheduled). The trace simulator carries no data, so dirty lines

@@ -1,0 +1,109 @@
+package multicore
+
+import (
+	"testing"
+
+	"rnrsim/internal/apps"
+	"rnrsim/internal/mem"
+	"rnrsim/internal/trace"
+)
+
+func TestParseJob(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want JobSpec
+		ok   bool
+	}{
+		{"pagerank.urand", JobSpec{"pagerank", "urand"}, true},
+		{"spcg/bbmat", JobSpec{"spcg", "bbmat"}, true},
+		{"pagerank", JobSpec{}, false},
+		{".urand", JobSpec{}, false},
+		{"pagerank.", JobSpec{}, false},
+	} {
+		got, err := ParseJob(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseJob(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestComposeSingleJobIsIdentity(t *testing.T) {
+	solo, err := apps.BuildCores("pagerank", "urand", apps.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Compose(apps.ScaleTest, []JobSpec{{"pagerank", "urand"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Cores != 1 || len(co.Traces) != 1 {
+		t.Fatalf("composed single job has %d cores / %d traces", co.Cores, len(co.Traces))
+	}
+	if len(co.Traces[0]) != len(solo.Traces[0]) {
+		t.Fatalf("trace length %d != solo %d", len(co.Traces[0]), len(solo.Traces[0]))
+	}
+	for i := range co.Traces[0] {
+		if co.Traces[0][i] != solo.Traces[0][i] {
+			t.Fatalf("record %d differs: %+v != %+v", i, co.Traces[0][i], solo.Traces[0][i])
+		}
+	}
+	if co.Check != solo.Check || co.Iterations != solo.Iterations {
+		t.Fatalf("metadata differs: check %v/%v iters %d/%d",
+			co.Check, solo.Check, co.Iterations, solo.Iterations)
+	}
+}
+
+func TestComposeRelocatesDisjointSlices(t *testing.T) {
+	co, err := Compose(apps.ScaleTest, []JobSpec{
+		{"pagerank", "urand"}, {"spcg", "bbmat"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Cores != 2 || len(co.Traces) != 2 || len(co.Groups) != 2 {
+		t.Fatalf("shape: cores=%d traces=%d groups=%d", co.Cores, len(co.Traces), len(co.Groups))
+	}
+	for k, tr := range co.Traces {
+		lo := Stride * mem.Addr(k)
+		hi := lo + Stride
+		for i, r := range tr {
+			addr := r.Addr
+			if addr == 0 {
+				continue
+			}
+			if r.Kind == trace.KindExec {
+				continue
+			}
+			if addr < lo || addr >= hi {
+				t.Fatalf("core %d record %d addr %#x outside slice [%#x, %#x)",
+					k, i, uint64(addr), uint64(lo), uint64(hi))
+			}
+		}
+	}
+	// Targets relocate with their jobs.
+	seen := map[int]bool{}
+	for _, r := range co.Targets {
+		seen[int(r.Base/Stride)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("targets not spread across slices: %v", co.Targets)
+	}
+	// Barrier groups are singletons in job order.
+	for k, g := range co.Groups {
+		if len(g) != 1 || g[0] != k {
+			t.Fatalf("group %d = %v, want [%d]", k, g, k)
+		}
+	}
+	if co.Resolve != nil || co.MakeResolver != nil {
+		t.Fatal("composed app must not carry an indirect resolver")
+	}
+}
+
+func TestComposeRejectsUnknownJob(t *testing.T) {
+	if _, err := Compose(apps.ScaleTest, []JobSpec{{"nosuch", "urand"}}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Compose(apps.ScaleTest, nil); err == nil {
+		t.Fatal("empty job list accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"rnrsim/internal/bench"
+	"rnrsim/internal/coherence"
+	"rnrsim/internal/multicore"
+	"rnrsim/internal/sim"
+)
+
+// coRunSpec is the canonical 2-core co-run submission used across the
+// serving tests: PageRank and spCG side by side with per-core RnR and
+// the cross-core LLC prefetcher.
+func coRunSpec() RunSpec {
+	return RunSpec{
+		Jobs:       []string{"pagerank.urand", "spcg.bbmat"},
+		Prefetcher: string(sim.PFRnR),
+		CrossCore:  true,
+		Scale:      "test",
+	}
+}
+
+// TestCoRunSpecValidation pins the submission-time rejections: every
+// malformed co-run must fail normalize (and therefore answer 400 over
+// the wire) instead of panicking a worker later.
+func TestCoRunSpecValidation(t *testing.T) {
+	overMax := make([]string, coherence.MaxCores+1)
+	for i := range overMax {
+		overMax[i] = "pagerank.urand"
+	}
+	bad := []struct {
+		name   string
+		mutate func(*RunSpec)
+	}{
+		{"jobs plus workload", func(sp *RunSpec) { sp.Workload = "pagerank"; sp.Input = "urand" }},
+		{"over max cores", func(sp *RunSpec) { sp.Jobs = overMax }},
+		{"malformed job", func(sp *RunSpec) { sp.Jobs = []string{"pagerankurand"} }},
+		{"unknown workload", func(sp *RunSpec) { sp.Jobs = []string{"nope.urand"} }},
+		{"unknown input", func(sp *RunSpec) { sp.Jobs = []string{"pagerank.bbmat"} }},
+		{"non-plain variant", func(sp *RunSpec) { sp.Variant = "ideal" }},
+		{"crosscore without jobs", func(sp *RunSpec) {
+			sp.Jobs = nil
+			sp.Workload, sp.Input = "pagerank", "urand"
+		}},
+	}
+	for _, tc := range bad {
+		sp := coRunSpec()
+		tc.mutate(&sp)
+		if err := sp.normalize("test"); err == nil {
+			t.Errorf("%s: normalize accepted %+v", tc.name, sp)
+		} else {
+			t.Logf("%s: %v", tc.name, err)
+		}
+	}
+
+	// The happy path normalizes, canonicalises separators and keys on
+	// the job list, so "/" and "." submissions coalesce.
+	dot, slash := coRunSpec(), coRunSpec()
+	slash.Jobs = []string{"pagerank/urand", "spcg/bbmat"}
+	if err := dot.normalize("test"); err != nil {
+		t.Fatalf("canonical spec rejected: %v", err)
+	}
+	if err := slash.normalize("test"); err != nil {
+		t.Fatalf("slash-separated spec rejected: %v", err)
+	}
+	if RunJobID(dot) != RunJobID(slash) {
+		t.Errorf("separator changed the content address: %q vs %q", dot.key(), slash.key())
+	}
+}
+
+// TestHTTPCoRunOverMaxCores is the wire-level contract the issue calls
+// out: a job list longer than the coherence directory supports answers
+// HTTP 400, not a panic.
+func TestHTTPCoRunOverMaxCores(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 1})
+	sp := coRunSpec()
+	sp.Jobs = make([]string, coherence.MaxCores+1)
+	for i := range sp.Jobs {
+		sp.Jobs[i] = "pagerank.urand"
+	}
+	resp := postJSON(t, ts.URL+"/v1/runs", sp)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-max co-run status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPCoRunServedVsDirect runs the canonical co-run through the
+// full HTTP stack and asserts the served result is identical — state
+// hash, per-core sub-hashes, coherence and cross-core sections — to a
+// direct sim.Run of the same composed app on the same machine.
+func TestHTTPCoRunServedVsDirect(t *testing.T) {
+	ts, m := newTestServer(t, Options{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/runs?wait=1", coRunSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.State != StateDone {
+		t.Fatalf("job state = %q (%s)", v.State, v.Error)
+	}
+	var served RunResult
+	if err := json.Unmarshal(v.Result, &served); err != nil {
+		t.Fatalf("decode run result: %v", err)
+	}
+
+	sp := coRunSpec()
+	if err := sp.normalize("test"); err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]multicore.JobSpec, len(sp.Jobs))
+	for k, raw := range sp.Jobs {
+		j, err := multicore.ParseJob(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[k] = j
+	}
+	sc, _ := ParseScale(sp.Scale)
+	app, err := multicore.Compose(sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.suite(sp.Scale).Config
+	cfg.Cores = len(jobs)
+	cfg.Prefetcher = sim.PrefetcherKind(sp.Prefetcher)
+	cfg.Coherence = true
+	cfg.LLCBanks = 2
+	cfg.CrossCore = sp.CrossCore
+	cfg.Name = sp.key()
+	direct, err := sim.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := fmt.Sprintf("%016x", direct.StateHash); served.StateHash != want {
+		t.Errorf("served state hash %s != direct %s", served.StateHash, want)
+	}
+	if len(served.CoreStateHashes) != len(jobs) {
+		t.Fatalf("served %d core hashes, want %d", len(served.CoreStateHashes), len(jobs))
+	}
+	for k, h := range direct.CoreHashes {
+		if want := fmt.Sprintf("%016x", h); served.CoreStateHashes[k] != want {
+			t.Errorf("core %d: served sub-hash %s != direct %s", k, served.CoreStateHashes[k], want)
+		}
+	}
+	if served.Coherence == nil || served.CrossCore == nil {
+		t.Fatalf("served co-run missing coherence/crosscore sections: %+v", served.ResultJSON)
+	}
+	if *served.Coherence != *direct.Coherence || *served.CrossCore != *direct.CrossCore {
+		t.Errorf("served stat sections diverged from direct run")
+	}
+	if served.Key != sp.key() {
+		t.Errorf("served key %q != spec key %q", served.Key, sp.key())
+	}
+}
+
+// TestHTTPCoRunExperimentServedVsDirect runs the whole corun bench
+// experiment as a daemon job and asserts the served table equals a
+// direct assembly on an equivalent suite — the served/direct half of
+// the experiment's determinism contract (the -j half lives in
+// internal/bench).
+func TestHTTPCoRunExperimentServedVsDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the co-run grid twice")
+	}
+	ts, m := newTestServer(t, Options{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/experiments/corun?wait=1", RunSpec{Scale: "test"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.State != StateDone {
+		t.Fatalf("experiment state = %q (%s)", v.State, v.Error)
+	}
+	var served TableResult
+	if err := json.Unmarshal(v.Result, &served); err != nil {
+		t.Fatalf("decode table result: %v", err)
+	}
+
+	direct := bench.NewSuite(m.suite("test").Scale)
+	direct.Config = m.suite("test").Config
+	want := direct.CoRun()
+	if served.Table == nil || !reflect.DeepEqual(served.Table.Rows, want.Rows) {
+		t.Errorf("served corun table diverged from direct assembly:\nserved %+v\ndirect %+v",
+			served.Table, want)
+	}
+}

@@ -24,11 +24,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 	"time"
 
 	"rnrsim/internal/apps"
 	"rnrsim/internal/bench"
+	"rnrsim/internal/coherence"
+	"rnrsim/internal/multicore"
 	"rnrsim/internal/sim"
 )
 
@@ -70,6 +73,17 @@ type RunSpec struct {
 	// Scale is "test", "bench" or "large"; empty uses the daemon's
 	// default.
 	Scale string `json:"scale,omitempty"`
+	// Jobs, when non-empty, makes the submission a multi-programmed
+	// co-run: entry k names the program scheduled on core k as
+	// "workload.input" (or "workload/input"). A co-run machine attaches
+	// the coherence directory and a 2-bank shared LLC; Prefetcher applies
+	// to every core's private L2. Workload/Input must be left empty and
+	// only the plain variant is accepted. The list is capped at the
+	// coherence directory's core limit.
+	Jobs []string `json:"jobs,omitempty"`
+	// CrossCore attaches the cooperative cross-core LLC prefetcher to a
+	// co-run (rejected without Jobs).
+	CrossCore bool `json:"crosscore,omitempty"`
 	// Detach opts the job out of abandonment cancellation: it runs to
 	// completion even if every watching client disconnects.
 	Detach bool `json:"detach,omitempty"`
@@ -101,6 +115,42 @@ func (sp *RunSpec) normalize(defaultScale string) error {
 	if _, ok := ParseScale(sp.Scale); !ok {
 		return fmt.Errorf("unknown scale %q (have %v)", sp.Scale, ScaleNames)
 	}
+	if sp.Prefetcher == "" {
+		sp.Prefetcher = string(sim.PFNone)
+	}
+	if !slices.Contains(sim.AllPrefetchers, sim.PrefetcherKind(sp.Prefetcher)) {
+		return fmt.Errorf("unknown prefetcher %q (have %v)", sp.Prefetcher, sim.AllPrefetchers)
+	}
+	if len(sp.Jobs) > 0 {
+		if sp.Workload != "" || sp.Input != "" {
+			return fmt.Errorf("jobs and workload/input are mutually exclusive")
+		}
+		if n := len(sp.Jobs); n > coherence.MaxCores {
+			return fmt.Errorf("co-run lists %d jobs; the coherence directory tracks at most %d cores",
+				n, coherence.MaxCores)
+		}
+		for k, raw := range sp.Jobs {
+			j, err := multicore.ParseJob(raw)
+			if err != nil {
+				return fmt.Errorf("job %d: %w", k, err)
+			}
+			if !slices.Contains(apps.Workloads, j.Workload) {
+				return fmt.Errorf("job %d: unknown workload %q (have %v)", k, j.Workload, apps.Workloads)
+			}
+			if !slices.Contains(apps.InputsFor(j.Workload), j.Input) {
+				return fmt.Errorf("job %d: unknown input %q for workload %q (have %v)",
+					k, j.Input, j.Workload, apps.InputsFor(j.Workload))
+			}
+			sp.Jobs[k] = j.String() // canonical "workload.input" form for the key
+		}
+		if v, ok := bench.NamedVariant(sp.Variant); !ok || v.Tag != "" {
+			return fmt.Errorf("co-runs accept only the plain variant (got %q)", sp.Variant)
+		}
+		return nil
+	}
+	if sp.CrossCore {
+		return fmt.Errorf("crosscore requires a co-run job list")
+	}
 	if !slices.Contains(apps.Workloads, sp.Workload) {
 		return fmt.Errorf("unknown workload %q (have %v)", sp.Workload, apps.Workloads)
 	}
@@ -108,20 +158,23 @@ func (sp *RunSpec) normalize(defaultScale string) error {
 		return fmt.Errorf("unknown input %q for workload %q (have %v)",
 			sp.Input, sp.Workload, apps.InputsFor(sp.Workload))
 	}
-	if sp.Prefetcher == "" {
-		sp.Prefetcher = string(sim.PFNone)
-	}
-	if !slices.Contains(sim.AllPrefetchers, sim.PrefetcherKind(sp.Prefetcher)) {
-		return fmt.Errorf("unknown prefetcher %q (have %v)", sp.Prefetcher, sim.AllPrefetchers)
-	}
 	if _, ok := bench.NamedVariant(sp.Variant); !ok {
 		return fmt.Errorf("unknown variant %q (have %v, or winN)", sp.Variant, bench.VariantNames())
 	}
 	return nil
 }
 
-// key returns the bench memoisation key the spec resolves to.
+// key returns the memoisation key the spec resolves to: the bench run
+// key for plain runs, a co-run key (job list + prefetcher + cross-core
+// flag) for multi-programmed submissions.
 func (sp RunSpec) key() string {
+	if len(sp.Jobs) > 0 {
+		x := ""
+		if sp.CrossCore {
+			x = "xcore"
+		}
+		return fmt.Sprintf("corun:%s/%s/%s", strings.Join(sp.Jobs, "+"), sp.Prefetcher, x)
+	}
 	v, _ := bench.NamedVariant(sp.Variant)
 	return bench.RunKey(sp.Workload, sp.Input, sim.PrefetcherKind(sp.Prefetcher), v.Tag)
 }

@@ -13,6 +13,7 @@ import (
 
 	"rnrsim/internal/audit"
 	"rnrsim/internal/bench"
+	"rnrsim/internal/multicore"
 	"rnrsim/internal/obs"
 	"rnrsim/internal/sim"
 	"rnrsim/internal/telemetry"
@@ -405,6 +406,10 @@ func (m *Manager) runJob(j *Job) {
 
 	switch j.Kind {
 	case KindRun:
+		if len(j.Spec.Jobs) > 0 {
+			m.runCoRun(ctx, suite, j)
+			return
+		}
 		v, _ := bench.NamedVariant(j.Spec.Variant)
 		res, err := suite.RunContext(ctx, j.Spec.Workload, j.Spec.Input,
 			sim.PrefetcherKind(j.Spec.Prefetcher), v)
@@ -448,6 +453,54 @@ func (m *Manager) runJob(j *Job) {
 	default:
 		m.finishErr(j, fmt.Errorf("unknown job kind %q", j.Kind))
 	}
+}
+
+// runCoRun executes a multi-programmed co-run job: the job list is
+// composed into one N-core app and simulated on the suite's machine
+// with the coherence directory, a 2-bank shared LLC and (optionally)
+// the cross-core prefetcher attached. Co-runs are bespoke — they bypass
+// the suite's memoisation, like the bench co-run experiment — but the
+// content-addressed job store still coalesces duplicate submissions
+// onto one job, and the suite's audit/obs configuration applies.
+func (m *Manager) runCoRun(ctx context.Context, suite *bench.Suite, j *Job) {
+	jobs := make([]multicore.JobSpec, len(j.Spec.Jobs))
+	for k, raw := range j.Spec.Jobs {
+		js, err := multicore.ParseJob(raw)
+		if err != nil { // normalize validated; defensive
+			m.finishErr(j, err)
+			return
+		}
+		jobs[k] = js
+	}
+	sc, _ := ParseScale(j.Spec.Scale)
+	app, err := multicore.Compose(sc, jobs)
+	if err != nil {
+		m.finishErr(j, err)
+		return
+	}
+	cfg := suite.Config
+	cfg.Cores = len(jobs)
+	cfg.Prefetcher = sim.PrefetcherKind(j.Spec.Prefetcher)
+	cfg.Coherence = true
+	cfg.LLCBanks = 2
+	cfg.CrossCore = j.Spec.CrossCore
+	cfg.Name = j.Spec.key()
+	res, err := sim.RunContext(ctx, cfg, app)
+	if err != nil {
+		m.finishErr(j, err)
+		return
+	}
+	payload, err := json.Marshal(RunResult{
+		Key:        j.Spec.key(),
+		Scale:      j.Spec.Scale,
+		ResultJSON: res.Export(),
+	})
+	if err != nil {
+		m.finishErr(j, err)
+		return
+	}
+	j.finish(StateDone, payload, "")
+	m.cDone.Inc()
 }
 
 // finishErr records a terminal failure, distinguishing cancellation

@@ -60,7 +60,7 @@ func (s *System) registerAudit() {
 				a.Check(report)
 				mono.Check(&eng.Stats, report)
 			})
-			if s.cfg.Prefetcher == PFRnR && !s.cfg.RnRPrefetchToLLC {
+			if s.prefKind(c) == PFRnR && !s.cfg.RnRPrefetchToLLC {
 				// With RnR alone prefetching into the L2, the engine's
 				// replay prefetches are the only prefetch traffic there,
 				// so the four timeliness classes partition a subset of
@@ -79,8 +79,33 @@ func (s *System) registerAudit() {
 			}
 		}
 	}
-	if s.llc != nil {
-		s.aud.Register("llc", s.llc.AuditInvariants)
+	if len(s.llcs) == 1 {
+		s.aud.Register("llc", s.llcs[0].AuditInvariants)
+	} else {
+		for b := range s.llcs {
+			s.aud.Register(fmt.Sprintf("llc.b%d", b), s.llcs[b].AuditInvariants)
+		}
+	}
+	if s.dir != nil {
+		s.aud.Register("coherence", func(report func(string)) {
+			// Directory-internal laws (single-M owner, no empty or
+			// Invalid entries) plus the inclusion law sharer-mask ⊇
+			// actual holders, with the holder masks swept from the
+			// private tag arrays.
+			holders := make(map[mem.Addr]uint64)
+			for c := range s.cores {
+				bit := uint64(1) << uint(c)
+				s.l1s[c].ForEachResident(func(line mem.Addr) { holders[line] |= bit })
+				s.l2s[c].ForEachResident(func(line mem.Addr) { holders[line] |= bit })
+			}
+			s.dir.AuditInvariants(func(line mem.Addr) uint64 { return holders[line] }, report)
+			// The dual direction, no stale-line demand hits, is counted
+			// on the L1 access path (see wireCoherence): a demand hit on
+			// a line the directory does not credit to the hitting core.
+			if s.staleHits > 0 {
+				report(fmt.Sprintf("%d demand hits on lines outside the directory's sharer masks", s.staleHits))
+			}
+		})
 	}
 	s.aud.Register("dram", s.mc.AuditInvariants)
 	if rec := s.obsRec; rec != nil {
@@ -139,18 +164,57 @@ func (s *System) stateHash() uint64 {
 			e.HashState(mix)
 		}
 	}
-	if s.llc != nil {
-		s.llc.HashState(mix)
+	for _, llc := range s.llcs {
+		llc.HashState(mix)
+	}
+	if s.xcore != nil {
+		// Folded only when the cross-core prefetcher is attached, so
+		// configurations without it keep their historical hashes.
+		s.xcore.HashState(mix)
 	}
 	if s.ideal != nil {
 		s.ideal.HashState(mix)
 	}
 	s.mc.HashState(mix)
-	mix(uint64(len(s.iterEnd)))
-	for _, v := range s.iterEnd {
+	// Group 0's iteration stamps occupy the historical fold position;
+	// extra barrier groups (composed co-runs only) fold after. The
+	// coherence directory is deliberately excluded: its observable
+	// effects are already hashed through the private tag arrays, and
+	// with one core it can never act — which is exactly what keeps a
+	// 1-core coherence-enabled machine hash-identical (see
+	// internal/coherence).
+	mix(uint64(len(s.iterEnd[0])))
+	for _, v := range s.iterEnd[0] {
 		mix(v)
 	}
+	for g := 1; g < len(s.iterEnd); g++ {
+		mix(uint64(len(s.iterEnd[g])))
+		for _, v := range s.iterEnd[g] {
+			mix(v)
+		}
+	}
 	return h.Sum()
+}
+
+// coreHashes folds each core's private domain — core, L1, L2, RnR
+// engine — into its own digest, so a multi-programmed run can compare
+// one core's final state against the same program's solo run (the idle
+// cores of a partially loaded machine fold empty caches into the
+// combined hash, which per-core digests see through).
+func (s *System) coreHashes() []uint64 {
+	out := make([]uint64, len(s.cores))
+	for c := range s.cores {
+		h := audit.NewHash()
+		mix := h.Mix()
+		s.cores[c].HashState(mix)
+		s.l1s[c].HashState(mix)
+		s.l2s[c].HashState(mix)
+		if e := s.engines[c]; e != nil {
+			e.HashState(mix)
+		}
+		out[c] = h.Sum()
+	}
+	return out
 }
 
 // HashState folds the ideal LLC's state: the resident set (sorted — the

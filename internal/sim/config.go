@@ -9,6 +9,7 @@ import (
 
 	"rnrsim/internal/audit"
 	"rnrsim/internal/cache"
+	"rnrsim/internal/coherence"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/obs"
@@ -70,6 +71,33 @@ type Config struct {
 	// IdealLLC replaces the LLC with an infinite cache (the "ideal" bar
 	// of Fig. 6: only cold misses reach memory).
 	IdealLLC bool
+
+	// PerCorePrefetchers assigns one prefetcher kind per core for
+	// multi-programmed runs (len must equal Cores); empty means every
+	// core runs Prefetcher. RnR tuning knobs (window, lead, control)
+	// stay global.
+	PerCorePrefetchers []PrefetcherKind
+
+	// Coherence attaches the MESI-lite directory (internal/coherence)
+	// in front of the shared LLC: stores invalidate remote private
+	// copies, remote fills downgrade Modified lines. With one core the
+	// directory can never invalidate anything, so a 1-core coherent
+	// machine is state-hash-identical to an uncoherent one.
+	Coherence bool
+
+	// LLCBanks splits the shared LLC into this many equal banks (power
+	// of two; 0 or 1 keeps the single monolithic LLC), each bank an
+	// independently scheduled cache covering the lines whose low
+	// line-address bits select it.
+	LLCBanks int
+
+	// CrossCore attaches the Pickle-style cooperative LLC prefetcher
+	// (prefetch.CrossCore): one shared correlation table trained on the
+	// per-core LLC demand-miss streams, issuing prefetches into the LLC
+	// on behalf of the predicted consumer. Requires a real LLC.
+	CrossCore bool
+	// CrossCoreEntries sizes the correlation table (0 = default 4096).
+	CrossCoreEntries int
 
 	// CtxSwitch enables periodic OS context switches (§IV-C): cache
 	// pollution plus prefetcher reset for conventional designs, pause /
@@ -200,14 +228,43 @@ func (c Config) validate() error {
 	if c.Cores < 1 {
 		return fmt.Errorf("sim: config %q has %d cores", c.Name, c.Cores)
 	}
-	known := false
-	for _, p := range AllPrefetchers {
-		if c.Prefetcher == p {
-			known = true
+	isKnown := func(k PrefetcherKind) bool {
+		for _, p := range AllPrefetchers {
+			if k == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !isKnown(c.Prefetcher) {
+		return fmt.Errorf("sim: unknown prefetcher %q", c.Prefetcher)
+	}
+	if n := len(c.PerCorePrefetchers); n != 0 {
+		if n != c.Cores {
+			return fmt.Errorf("sim: config %q assigns %d per-core prefetchers to %d cores", c.Name, n, c.Cores)
+		}
+		for i, k := range c.PerCorePrefetchers {
+			if !isKnown(k) {
+				return fmt.Errorf("sim: unknown prefetcher %q for core %d", k, i)
+			}
 		}
 	}
-	if !known {
-		return fmt.Errorf("sim: unknown prefetcher %q", c.Prefetcher)
+	if c.Coherence && c.Cores > coherence.MaxCores {
+		return fmt.Errorf("sim: config %q has %d cores, coherence supports at most %d",
+			c.Name, c.Cores, coherence.MaxCores)
+	}
+	if b := c.LLCBanks; b > 1 {
+		if b&(b-1) != 0 {
+			return fmt.Errorf("sim: config %q has %d LLC banks, want a power of two", c.Name, b)
+		}
+		if c.IdealLLC {
+			return fmt.Errorf("sim: config %q banks the ideal LLC", c.Name)
+		}
+	} else if b < 0 {
+		return fmt.Errorf("sim: config %q has %d LLC banks", c.Name, b)
+	}
+	if c.CrossCore && c.IdealLLC {
+		return fmt.Errorf("sim: config %q attaches the cross-core prefetcher to the ideal LLC", c.Name)
 	}
 	return nil
 }

@@ -113,8 +113,19 @@ func (cs *ctxSwitch) switchIn(s *System, now uint64) {
 			s.wirePrefetcher(c)
 		}
 	}
-	if s.llc != nil {
+	for _, llc := range s.llcs {
 		// The LLC is shared; the other process evicted this one's share.
-		s.llc.InvalidateAll()
+		llc.InvalidateAll()
+	}
+	if s.dir != nil {
+		// InvalidateAll bypasses the per-line eviction hooks, so the
+		// directory's sharer masks would go stale; drop them wholesale to
+		// match the now-empty tag arrays.
+		s.dir.Reset()
+	}
+	if s.xcore != nil {
+		// The shared correlation table was trained by whoever ran
+		// meanwhile — same retraining rule as the per-core prefetchers.
+		s.xcore.Reset()
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rnrsim/internal/coherence"
+	"rnrsim/internal/prefetch"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -53,8 +56,12 @@ func TestExportEnvelopeGolden(t *testing.T) {
 		Instructions: 1700,
 		Iterations:   4,
 		IterEnd:      []uint64{200, 400, 700, 1000},
+		GroupIterEnd: [][]uint64{{200, 400, 700, 1000}, {350, 900}},
 		InputBytes:   4096,
 		Check:        42.5,
+		CoreHashes:   []uint64{0x0123456789abcdef, 0xfedcba9876543210},
+		Coherence:    &coherence.Stats{Upgrades: 3, Invalidations: 5, Downgrades: 2, Fills: 40, Evicts: 31},
+		CrossCore:    &prefetch.CrossCoreStats{Trained: 12, Lookups: 9, Issued: 7, Dropped: 2},
 	}
 	got, err := json.MarshalIndent(r.Export(), "", "  ")
 	if err != nil {

@@ -83,7 +83,7 @@ func TestIdealLLCAbsorbsWritebacksButNotMetadata(t *testing.T) {
 }
 
 func TestBarrierOpensWhenAllArrive(t *testing.T) {
-	b := newBarrier(3)
+	b := newBarrier([]int{0, 1, 2})
 	doneCores := map[int]bool{}
 	b.done = func(c int) bool { return doneCores[c] }
 	opened := []int32{}
@@ -107,7 +107,7 @@ func TestBarrierOpensWhenAllArrive(t *testing.T) {
 }
 
 func TestBarrierTreatsDrainedCoresAsArrived(t *testing.T) {
-	b := newBarrier(2)
+	b := newBarrier([]int{0, 1})
 	doneCores := map[int]bool{1: true} // core 1 finished its trace
 	b.done = func(c int) bool { return doneCores[c] }
 	opened := 0

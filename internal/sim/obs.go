@@ -25,9 +25,19 @@ func (s *System) registerObs() {
 		return
 	}
 	s.obsRec = obs.NewRecorder(*s.cfg.Obs)
-	if s.cfg.RnRPrefetchToLLC && s.llc != nil {
-		s.llc.Lifecycle = s.obsRec.View("llc")
-	} else {
+	if s.cfg.RnRPrefetchToLLC || s.cfg.CrossCore {
+		// Prefetches land in the shared LLC (destination ablation or the
+		// cooperative cross-core prefetcher): one view per bank, with the
+		// single-bank machine keeping the historical "llc" view name.
+		for b := range s.llcs {
+			name := "llc"
+			if len(s.llcs) > 1 {
+				name = fmt.Sprintf("llc.b%d", b)
+			}
+			s.llcs[b].Lifecycle = s.obsRec.View(name)
+		}
+	}
+	if !s.cfg.RnRPrefetchToLLC {
 		for c := range s.l2s {
 			s.l2s[c].Lifecycle = s.obsRec.View(fmt.Sprintf("l2.%d", c))
 		}

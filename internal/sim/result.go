@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"rnrsim/internal/cache"
+	"rnrsim/internal/coherence"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/obs"
+	"rnrsim/internal/prefetch"
 	"rnrsim/internal/rnr"
 	"rnrsim/internal/telemetry"
 )
@@ -26,12 +28,27 @@ type Result struct {
 	Iterations   int
 	IterEnd      []uint64 // global cycle at which iteration i's barrier opened
 
+	// GroupIterEnd is IterEnd per barrier group, for multi-programmed
+	// co-runs (nil when the machine has a single SPMD group; group 0's
+	// slice then equals IterEnd).
+	GroupIterEnd [][]uint64
+
 	CoreStats []cpu.Stats
 	IterL2    []cache.Stats // cumulative L2 stats at each iteration end
 	L1, L2    cache.Stats
 	LLC       cache.Stats
-	DRAM      dram.Stats
-	RnR       rnr.Stats
+	// CoreL2 is each core's private-L2 stats individually, so a co-run
+	// can compute per-core accuracy/coverage without the other jobs'
+	// traffic diluting the denominators.
+	CoreL2 []cache.Stats
+	DRAM   dram.Stats
+	RnR    rnr.Stats
+
+	// Coherence is the MESI-lite directory's event counters (nil when
+	// Config.Coherence was off); CrossCore the cooperative LLC
+	// prefetcher's (nil when Config.CrossCore was off).
+	Coherence *coherence.Stats
+	CrossCore *prefetch.CrossCoreStats
 
 	InputBytes uint64
 	Check      float64
@@ -41,6 +58,11 @@ type Result struct {
 	// per-iteration outcome deltas and RnR divergence scores. Rendered
 	// into the envelope's `lifecycle` and `histograms` sections.
 	Obs *obs.Summary
+
+	// CoreHashes folds each core's private domain (core, L1, L2, RnR
+	// engine) into its own digest, letting differential tests compare
+	// one core of a multi-programmed machine against a solo run.
+	CoreHashes []uint64
 
 	// StateHash is an FNV-1a digest of the complete architectural state
 	// of the machine after the run drains: core ROB/LSQ registers, cache
@@ -313,22 +335,29 @@ type ResultJSON struct {
 	App        string `json:"app"`
 	Input      string `json:"input"`
 
-	Cycles       uint64   `json:"cycles"`
-	Instructions uint64   `json:"instructions"`
-	Iterations   int      `json:"iterations"`
-	IterEnd      []uint64 `json:"iter_end,omitempty"`
+	Cycles       uint64     `json:"cycles"`
+	Instructions uint64     `json:"instructions"`
+	Iterations   int        `json:"iterations"`
+	IterEnd      []uint64   `json:"iter_end,omitempty"`
+	GroupIterEnd [][]uint64 `json:"group_iter_end,omitempty"`
 
 	IPC        float64    `json:"ipc"`
 	L2MPKI     float64    `json:"l2_mpki"`
 	Accuracy   float64    `json:"accuracy"`
 	Timeliness Timeliness `json:"timeliness"`
 
-	CoreStats []cpu.Stats `json:"core_stats,omitempty"`
-	L1        cache.Stats `json:"l1"`
-	L2        cache.Stats `json:"l2"`
-	LLC       cache.Stats `json:"llc"`
-	DRAM      dram.Stats  `json:"dram"`
-	RnR       rnr.Stats   `json:"rnr"`
+	CoreStats []cpu.Stats   `json:"core_stats,omitempty"`
+	L1        cache.Stats   `json:"l1"`
+	L2        cache.Stats   `json:"l2"`
+	LLC       cache.Stats   `json:"llc"`
+	CoreL2    []cache.Stats `json:"core_l2,omitempty"`
+	DRAM      dram.Stats    `json:"dram"`
+	RnR       rnr.Stats     `json:"rnr"`
+
+	// Coherence and CrossCore are the multicore sections, present only
+	// when the corresponding subsystem was configured.
+	Coherence *coherence.Stats         `json:"coherence,omitempty"`
+	CrossCore *prefetch.CrossCoreStats `json:"crosscore,omitempty"`
 
 	InputBytes uint64  `json:"input_bytes"`
 	Check      float64 `json:"check"`
@@ -340,8 +369,10 @@ type ResultJSON struct {
 
 	// StateHash is Result.StateHash as a 16-digit hex string: JSON
 	// numbers lose precision past 2^53, and the hash needs all 64 bits
-	// to be comparable across exports.
-	StateHash string `json:"state_hash"`
+	// to be comparable across exports. CoreStateHashes are the per-core
+	// sub-digests (same encoding, core order).
+	StateHash       string   `json:"state_hash"`
+	CoreStateHashes []string `json:"core_state_hashes,omitempty"`
 }
 
 // Export builds the JSON view of the result, stamped with the export
@@ -359,6 +390,7 @@ func (r *Result) Export() ResultJSON {
 		Instructions:  r.Instructions,
 		Iterations:    r.Iterations,
 		IterEnd:       r.IterEnd,
+		GroupIterEnd:  r.GroupIterEnd,
 		IPC:           r.IPC(),
 		L2MPKI:        r.L2MPKI(),
 		Accuracy:      r.Accuracy(),
@@ -367,11 +399,17 @@ func (r *Result) Export() ResultJSON {
 		L1:            r.L1,
 		L2:            r.L2,
 		LLC:           r.LLC,
+		CoreL2:        r.CoreL2,
 		DRAM:          r.DRAM,
 		RnR:           r.RnR,
+		Coherence:     r.Coherence,
+		CrossCore:     r.CrossCore,
 		InputBytes:    r.InputBytes,
 		Check:         r.Check,
 		StateHash:     fmt.Sprintf("%016x", r.StateHash),
+	}
+	for _, h := range r.CoreHashes {
+		out.CoreStateHashes = append(out.CoreStateHashes, fmt.Sprintf("%016x", h))
 	}
 	if r.Obs != nil {
 		lc := r.Obs.Lifecycle

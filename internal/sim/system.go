@@ -7,6 +7,7 @@ import (
 	"rnrsim/internal/apps"
 	"rnrsim/internal/audit"
 	"rnrsim/internal/cache"
+	"rnrsim/internal/coherence"
 	"rnrsim/internal/cpu"
 	"rnrsim/internal/dram"
 	"rnrsim/internal/mem"
@@ -26,27 +27,43 @@ type System struct {
 	cores    []*cpu.Core
 	l1s      []*cache.Cache
 	l2s      []*cache.Cache
-	llc      *cache.Cache
+	llcs     []*cache.Cache // LLC banks; one element for the monolithic LLC
 	ideal    *idealLLC
 	mc       *dram.Controller
 	engines  []*rnr.Engine
 	prefs    []prefetch.Prefetcher
 	droplets []*prefetch.Droplet // for resolver rebinding on base swaps
 
+	// Multicore extensions (nil when the config leaves them off).
+	dir   *coherence.Directory // MESI-lite directory over the private caches
+	xcore *prefetch.CrossCore  // cooperative LLC prefetcher
+	// staleHits counts demand hits on private lines the directory lost
+	// track of — always zero under the coherence protocol; audited.
+	staleHits uint64
+
 	issueFns []prefetch.IssueFunc // one per core, built once
 
 	ctx *ctxSwitch
 
-	cycle     uint64
-	barrier   *barrier
-	iterEnd   []uint64
-	iterSnaps []cache.Stats // cumulative L2 stats at each iteration end
+	cycle uint64
+	// Barrier groups: groups[g] lists the member cores of barrier g,
+	// coreGrp/coreSlot locate a core inside its group. Single-program
+	// apps have one group holding every core (the legacy shape); the
+	// multicore composer gives each job its own group so co-scheduled
+	// programs free-run against each other. Group 0's per-iteration
+	// bookkeeping occupies the legacy Result/state-hash positions.
+	barriers  []*barrier
+	groups    [][]int
+	coreGrp   []int
+	coreSlot  []int
+	iterEnd   [][]uint64
+	iterSnaps [][]cache.Stats // cumulative group-L2 stats at each iteration end
 
 	// Telemetry (nil = disabled; the Tick fast path is one pointer
 	// compare). See internal/telemetry and registerTelemetry.
 	tel         *telemetry.Recorder
 	sampleEvery uint64
-	lastIterEnd uint64
+	lastIterEnd []uint64 // per barrier group, for iteration spans
 
 	// Audit (nil = disabled; same one-pointer-compare fast path). See
 	// internal/audit and registerAudit.
@@ -85,12 +102,12 @@ type System struct {
 	coreWake   []uint64
 	l1Wake     []uint64
 	l2Wake     []uint64
-	llcWake    uint64
+	llcWake    []uint64
 	mcWake     uint64
 	coreWakeOK []bool
 	l1WakeOK   []bool
 	l2WakeOK   []bool
-	llcWakeOK  bool
+	llcWakeOK  []bool
 	mcWakeOK   bool
 
 	// Done memoisation: Tick sets doneDirty, Done recomputes at most once
@@ -105,49 +122,56 @@ type System struct {
 // the scheduler through the sim package.
 const WakeupNever = mem.WakeupNever
 
-// barrier implements the SPMD iteration barrier of §VI: workers wait at
-// iteration ends until every core (or a drained core) arrives.
+// barrier implements the SPMD iteration barrier of §VI for one barrier
+// group: member workers wait at iteration ends until every member (or a
+// drained member) arrives. A single-program app has one barrier over
+// every core; a composed multi-programmed app has one per job.
 type barrier struct {
-	waiting []bool
+	members []int  // core ids, fixed at construction
+	waiting []bool // parallel to members
+	iter    []int32
 	done    func(core int) bool
 	onOpen  func(iter int32)
-	iter    []int32
 	// flipped records that an open released at least one waiting core —
 	// their fetch gates changed without any core-local event, so the
 	// event scheduler must invalidate cached core wakeups.
 	flipped bool
 }
 
-func newBarrier(n int) *barrier {
-	return &barrier{waiting: make([]bool, n), iter: make([]int32, n)}
+func newBarrier(members []int) *barrier {
+	return &barrier{
+		members: members,
+		waiting: make([]bool, len(members)),
+		iter:    make([]int32, len(members)),
+	}
 }
 
-func (b *barrier) arrive(core int, iter int32) {
-	b.waiting[core] = true
-	b.iter[core] = iter
+func (b *barrier) arrive(slot int, iter int32) {
+	b.waiting[slot] = true
+	b.iter[slot] = iter
 	b.maybeOpen()
 }
 
 func (b *barrier) maybeOpen() {
-	for c := range b.waiting {
-		if !b.waiting[c] && !b.done(c) {
+	for i, c := range b.members {
+		if !b.waiting[i] && !b.done(c) {
 			return
 		}
 	}
 	iter := int32(-1)
-	for c := range b.waiting {
-		if b.waiting[c] {
-			iter = b.iter[c]
+	for i := range b.waiting {
+		if b.waiting[i] {
+			iter = b.iter[i]
 			b.flipped = true
 		}
-		b.waiting[c] = false
+		b.waiting[i] = false
 	}
 	if b.onOpen != nil && iter >= 0 {
 		b.onOpen(iter)
 	}
 }
 
-func (b *barrier) gated(core int) bool { return b.waiting[core] }
+func (b *barrier) gated(slot int) bool { return b.waiting[slot] }
 
 // New wires a machine for the given workload.
 func New(cfg Config, app *apps.App) (*System, error) {
@@ -158,23 +182,46 @@ func New(cfg Config, app *apps.App) (*System, error) {
 		return nil, fmt.Errorf("sim: config has %d cores, app %q has %d", cfg.Cores, app.Name, app.Cores)
 	}
 	s := &System{cfg: cfg, app: app, mc: dram.New(cfg.DRAM)}
-	s.barrier = newBarrier(cfg.Cores)
+	if err := s.buildGroups(); err != nil {
+		return nil, err
+	}
 	s.ctx = newCtxSwitch(cfg.CtxSwitch)
 	s.ctxOn = cfg.CtxSwitch.Period != 0
 	s.tel = cfg.Telemetry
 	s.sampleEvery = cfg.Telemetry.SampleInterval()
 	s.mc.Tel = s.tel
 
-	// Shared LLC (real or ideal) on top of DRAM.
+	// Shared LLC (real or ideal) on top of DRAM. LLCBanks > 1 splits the
+	// capacity into independently scheduled banks, line-interleaved; the
+	// single-bank path is byte-identical to the historical monolithic
+	// LLC (one-element slice, same tick position, same hash fold).
 	var llcBackend mem.Backend
 	if cfg.IdealLLC {
 		s.ideal = newIdealLLC(cfg.LLC.Latency, s.mc)
 		llcBackend = s.ideal
 	} else {
-		s.llc = cache.New(cfg.LLC)
-		s.llc.SetLower(s.mc)
-		llcBackend = s.llc
+		banks := cfg.LLCBanks
+		if banks < 2 {
+			banks = 1
+		}
+		s.llcs = make([]*cache.Cache, banks)
+		for b := range s.llcs {
+			bcfg := cfg.LLC
+			if banks > 1 {
+				bcfg.Name = fmt.Sprintf("%s.b%d", cfg.LLC.Name, b)
+				bcfg.SizeBytes = cfg.LLC.SizeBytes / uint64(banks)
+			}
+			s.llcs[b] = cache.New(bcfg)
+			s.llcs[b].SetLower(s.mc)
+		}
+		if banks == 1 {
+			llcBackend = s.llcs[0]
+		} else {
+			llcBackend = &bankRouter{sys: s}
+		}
 	}
+	s.llcWake = make([]uint64, len(s.llcs))
+	s.llcWakeOK = make([]bool, len(s.llcs))
 
 	sources := app.Sources()
 	s.cores = make([]*cpu.Core, cfg.Cores)
@@ -208,6 +255,17 @@ func New(cfg Config, app *apps.App) (*System, error) {
 		s.wirePrefetcher(c)
 		s.wireCore(c)
 	}
+	for g := range s.barriers {
+		b := s.barriers[g]
+		b.done = func(core int) bool { return s.cores[core].Done() }
+		b.onOpen = s.makeOnOpen(g)
+	}
+	if cfg.Coherence {
+		s.wireCoherence()
+	}
+	if cfg.CrossCore {
+		s.wireCrossCore()
+	}
 	s.registerObs()
 	s.registerTelemetry()
 	s.registerAudit()
@@ -226,18 +284,28 @@ func New(cfg Config, app *apps.App) (*System, error) {
 	return s, nil
 }
 
-// wirePrefetcher builds the per-core prefetcher stack for cfg.Prefetcher.
+// prefKind resolves core c's prefetcher kind: the per-core assignment
+// when Config.PerCorePrefetchers is set, the global kind otherwise.
+func (s *System) prefKind(c int) PrefetcherKind {
+	if len(s.cfg.PerCorePrefetchers) > 0 {
+		return s.cfg.PerCorePrefetchers[c]
+	}
+	return s.cfg.Prefetcher
+}
+
+// wirePrefetcher builds the per-core prefetcher stack for prefKind(c).
 func (s *System) wirePrefetcher(c int) {
 	cfg, app := s.cfg, s.app
+	kind := s.prefKind(c)
 	// Only these kinds do per-cycle work in OnCycle; for every other
 	// prefetcher the System.Tick loop skips the interface dispatch.
-	switch cfg.Prefetcher {
+	switch kind {
 	case PFDroplet, PFRnR, PFRnRCombined:
 		s.cycleDriven[c] = true
 	default:
 		s.cycleDriven[c] = false
 	}
-	switch cfg.Prefetcher {
+	switch kind {
 	case PFNone:
 		s.prefs[c] = prefetch.Nop{}
 	case PFNextLine:
@@ -296,7 +364,7 @@ func (s *System) wirePrefetcher(c int) {
 			e.LeadReadsCap = int(cfg.LLC.SizeBytes / 64)
 		}
 		s.engines[c] = e
-		if cfg.Prefetcher == PFRnRCombined {
+		if kind == PFRnRCombined {
 			// RnR for the target structure, next-line for everything
 			// else, fenced out of the RnR range (§V-D).
 			nl := &prefetch.RegionFilter{
@@ -337,6 +405,7 @@ func (s *System) wireCore(c int) {
 		l2.OnEvict = engine.OnEvict
 	}
 
+	grpBarrier, slot := s.barriers[s.coreGrp[c]], s.coreSlot[c]
 	core.OnMarker = func(rec trace.Record, cycle uint64) {
 		if engine != nil {
 			engine.HandleMarker(rec, cycle)
@@ -346,12 +415,20 @@ func (s *System) wireCore(c int) {
 			s.droplets[c].Resolve = s.app.MakeResolver(rec.Addr)
 		}
 		if rec.Marker == trace.MarkIterEnd {
-			s.barrier.arrive(c, rec.Aux)
+			grpBarrier.arrive(slot, rec.Aux)
 		}
 	}
-	core.Gate = func() bool { return !s.barrier.gated(c) }
-	s.barrier.done = func(core int) bool { return s.cores[core].Done() }
-	s.barrier.onOpen = func(iter int32) {
+	core.Gate = func() bool { return !grpBarrier.gated(slot) }
+}
+
+// makeOnOpen builds barrier group g's open hook: per-iteration cycle
+// stamps and cumulative L2 snapshots over the group's members. Group 0
+// additionally drives the flight recorder's iteration axis and the
+// OnIteration progress callback, preserving their single-group
+// semantics (a composed run's extra groups keep their own bookkeeping
+// but do not multiplex those single-stream consumers).
+func (s *System) makeOnOpen(g int) func(iter int32) {
+	return func(iter int32) {
 		// The iteration tables are indexed by the trace's iteration
 		// number; a corrupt or adversarial trace (the fuzzer emits
 		// MarkIterEnd with Aux around 2^20) must not be able to grow
@@ -360,29 +437,175 @@ func (s *System) wireCore(c int) {
 		// workloads run a few dozen iterations; past the cap the barrier
 		// still opens, only the bookkeeping is dropped.
 		if int(iter) < maxTrackedIterations {
-			for int(iter) >= len(s.iterEnd) {
-				s.iterEnd = append(s.iterEnd, 0)
-				s.iterSnaps = append(s.iterSnaps, cache.Stats{})
+			for int(iter) >= len(s.iterEnd[g]) {
+				s.iterEnd[g] = append(s.iterEnd[g], 0)
+				s.iterSnaps[g] = append(s.iterSnaps[g], cache.Stats{})
 			}
-			s.iterEnd[iter] = s.cycle
+			s.iterEnd[g][iter] = s.cycle
 			var snap cache.Stats
-			for c := range s.l2s {
+			for _, c := range s.groups[g] {
 				snap.Add(s.l2s[c].Stats)
 			}
-			s.iterSnaps[iter] = snap
+			s.iterSnaps[g][iter] = snap
 		}
-		if s.obsRec != nil {
-			// The recorder caps hostile indices itself.
-			s.obsRec.IterEnd(int(iter), s.cycle)
-		}
-		if s.cfg.OnIteration != nil {
-			s.cfg.OnIteration(int(iter), s.cycle)
+		if g == 0 {
+			if s.obsRec != nil {
+				// The recorder caps hostile indices itself.
+				s.obsRec.IterEnd(int(iter), s.cycle)
+			}
+			if s.cfg.OnIteration != nil {
+				s.cfg.OnIteration(int(iter), s.cycle)
+			}
 		}
 		if s.tel != nil {
-			// One span per iteration on the "iterations" track, ending
-			// exactly at Result.IterEnd[iter].
-			s.tel.Span("iterations", fmt.Sprintf("iter %d", iter), s.lastIterEnd, s.cycle)
-			s.lastIterEnd = s.cycle
+			// One span per iteration per group, ending exactly at
+			// Result.IterEnd[iter] (group 0 keeps the historical track
+			// name; extra groups get their own track).
+			track := "iterations"
+			if g > 0 {
+				track = fmt.Sprintf("iterations.g%d", g)
+			}
+			s.tel.Span(track, fmt.Sprintf("iter %d", iter), s.lastIterEnd[g], s.cycle)
+			s.lastIterEnd[g] = s.cycle
+		}
+	}
+}
+
+// buildGroups resolves the app's barrier groups (nil = one SPMD group
+// over every core), validates that they partition the cores, and sizes
+// the per-group iteration bookkeeping.
+func (s *System) buildGroups() error {
+	groups := s.app.Groups
+	if len(groups) == 0 {
+		all := make([]int, s.cfg.Cores)
+		for c := range all {
+			all[c] = c
+		}
+		groups = [][]int{all}
+	}
+	s.groups = groups
+	s.coreGrp = make([]int, s.cfg.Cores)
+	s.coreSlot = make([]int, s.cfg.Cores)
+	for c := range s.coreGrp {
+		s.coreGrp[c] = -1
+	}
+	s.barriers = make([]*barrier, len(groups))
+	for g, members := range groups {
+		if len(members) == 0 {
+			return fmt.Errorf("sim: app %q barrier group %d is empty", s.app.Name, g)
+		}
+		for slot, c := range members {
+			if c < 0 || c >= s.cfg.Cores {
+				return fmt.Errorf("sim: app %q barrier group %d names core %d of %d", s.app.Name, g, c, s.cfg.Cores)
+			}
+			if s.coreGrp[c] != -1 {
+				return fmt.Errorf("sim: app %q assigns core %d to two barrier groups", s.app.Name, c)
+			}
+			s.coreGrp[c] = g
+			s.coreSlot[c] = slot
+		}
+		s.barriers[g] = newBarrier(members)
+	}
+	for c, g := range s.coreGrp {
+		if g == -1 {
+			return fmt.Errorf("sim: app %q leaves core %d without a barrier group", s.app.Name, c)
+		}
+	}
+	s.iterEnd = make([][]uint64, len(groups))
+	s.iterSnaps = make([][]cache.Stats, len(groups))
+	s.lastIterEnd = make([]uint64, len(groups))
+	return nil
+}
+
+// bankOf selects the LLC bank covering line (bank 0 when monolithic):
+// the lowest line-address bits above the 64 B offset interleave lines
+// round-robin across banks.
+func (s *System) bankOf(line mem.Addr) int {
+	return int((uint64(line) >> 6) & uint64(len(s.llcs)-1))
+}
+
+// bankRouter is the mem.Backend the private L2s sit on when the LLC is
+// banked: it forwards each request to the bank owning its line.
+type bankRouter struct{ sys *System }
+
+func (r *bankRouter) TryEnqueue(req *mem.Request) bool {
+	return r.sys.llcs[r.sys.bankOf(req.Line)].TryEnqueue(req)
+}
+
+// wireCoherence attaches the MESI-lite directory: every private fill
+// registers a sharer, a store invalidates remote private copies, and a
+// private eviction drops the sharer bit once neither private level
+// holds the line (the hierarchy is non-inclusive, so the bit must
+// survive as long as either level has it). Invalidations bypass OnEvict
+// by design — remote stores must not perturb RnR's eviction
+// bookkeeping — so with one core, where no remote store exists, the
+// wiring is observationally inert and state hashes are unchanged.
+func (s *System) wireCoherence() {
+	s.dir = coherence.NewDirectory(s.cfg.Cores)
+	for c := range s.cores {
+		c := c
+		l1, l2 := s.l1s[c], s.l2s[c]
+		l1.OnAccess = func(ev cache.AccessInfo) {
+			if ev.Type == mem.ReqStore {
+				for _, v := range s.dir.OnStore(c, ev.Line) {
+					s.l1s[v].Invalidate(ev.Line)
+					s.l2s[v].Invalidate(ev.Line)
+				}
+			} else if ev.Hit && s.aud != nil && !s.dir.HasSharer(c, ev.Line) {
+				// A demand hit on a line the directory does not credit
+				// to this core is a stale copy a remote store could
+				// never invalidate. Checked only under audit: the map
+				// lookup is too hot for unaudited runs. The sweep in
+				// registerAudit reports the count.
+				s.staleHits++
+			}
+		}
+		l1.OnFill = func(line mem.Addr, _ bool, _ uint64) { s.dir.OnFill(c, line) }
+		l1.OnEvict = func(line mem.Addr, _ bool, _ uint64) {
+			if !l2.Lookup(line) {
+				s.dir.OnEvict(c, line)
+			}
+		}
+		prevFill := l2.OnFill
+		l2.OnFill = func(line mem.Addr, pf bool, cycle uint64) {
+			s.dir.OnFill(c, line)
+			if prevFill != nil {
+				prevFill(line, pf, cycle)
+			}
+		}
+		prevEvict := l2.OnEvict
+		l2.OnEvict = func(line mem.Addr, unused bool, cycle uint64) {
+			if !l1.Lookup(line) {
+				s.dir.OnEvict(c, line)
+			}
+			if prevEvict != nil {
+				prevEvict(line, unused, cycle)
+			}
+		}
+	}
+}
+
+// wireCrossCore attaches the cooperative LLC prefetcher: each bank's
+// demand-miss stream trains the shared correlation table, and predicted
+// successors are issued into whichever bank owns them, tagged with the
+// consuming core. Purely reactive — it participates in the event
+// scheduler only through the wake-dirty flags its TryPrefetch calls
+// set on the receiving banks.
+func (s *System) wireCrossCore() {
+	s.xcore = prefetch.NewCrossCore(s.cfg.Cores, s.cfg.CrossCoreEntries)
+	s.xcore.Issue = func(core int, line mem.Addr) bool {
+		req := mem.NewRequest(mem.ReqPrefetch, line, 0, core, s.cycle)
+		return s.llcs[s.bankOf(line)].TryPrefetch(req)
+	}
+	for b := range s.llcs {
+		bank := s.llcs[b]
+		bank.OnAccess = func(ev cache.AccessInfo) {
+			// notifyAccess already filters writebacks and prefetches;
+			// what remains is the demand traffic the L2s missed. Merges
+			// joined an in-flight miss that already trained the table.
+			if !ev.Hit && !ev.Merged {
+				s.xcore.OnMiss(ev)
+			}
 		}
 	}
 }
@@ -390,11 +613,10 @@ func (s *System) wireCore(c int) {
 // issueFunc returns the prefetch-issue path into core c's L2 (or the
 // shared LLC under the §III destination ablation).
 func (s *System) issueFunc(c int) prefetch.IssueFunc {
-	if s.cfg.RnRPrefetchToLLC && s.llc != nil {
-		llc := s.llc
+	if s.cfg.RnRPrefetchToLLC && len(s.llcs) > 0 {
 		return func(line mem.Addr) bool {
 			req := mem.NewRequest(mem.ReqPrefetch, line, 0, c, s.cycle)
-			return llc.TryPrefetch(req)
+			return s.llcs[s.bankOf(line)].TryPrefetch(req)
 		}
 	}
 	l2 := s.l2s[c]
@@ -442,14 +664,16 @@ func (s *System) Tick() {
 			s.prefs[c].OnCycle(now, s.issueFns[c])
 		}
 	}
-	if s.llc != nil {
-		s.llc.Tick(now)
+	for _, llc := range s.llcs {
+		llc.Tick(now)
 	}
 	if s.ideal != nil {
 		s.ideal.Tick(now)
 	}
 	s.mc.Tick(now)
-	s.barrier.maybeOpen()
+	for _, b := range s.barriers {
+		b.maybeOpen()
+	}
 	if s.tel != nil && now >= s.nextSampleAt {
 		// Record the last crossed sampleEvery multiple, not now: a caller
 		// stepping the clock in jumps may land past the multiple, and the
@@ -472,8 +696,14 @@ func (s *System) Tick() {
 // barrier released waiting cores: their fetch gates changed without any
 // core-local event, which cached values cannot see.
 func (s *System) refreshGates() {
-	if s.barrier.flipped {
-		s.barrier.flipped = false
+	flipped := false
+	for _, b := range s.barriers {
+		if b.flipped {
+			b.flipped = false
+			flipped = true
+		}
+	}
+	if flipped {
 		for i := range s.coreWakeOK {
 			s.coreWakeOK[i] = false
 		}
@@ -510,12 +740,12 @@ func (s *System) l2WakeAt(i int, now uint64) uint64 {
 	return s.l2Wake[i]
 }
 
-func (s *System) llcWakeAt(now uint64) uint64 {
-	if s.llc.TakeWakeDirty() || !s.llcWakeOK {
-		s.llcWake = s.llc.Wakeup(now)
-		s.llcWakeOK = true
+func (s *System) llcWakeAt(b int, now uint64) uint64 {
+	if s.llcs[b].TakeWakeDirty() || !s.llcWakeOK[b] {
+		s.llcWake[b] = s.llcs[b].Wakeup(now)
+		s.llcWakeOK[b] = true
 	}
-	return s.llcWake
+	return s.llcWake[b]
 }
 
 func (s *System) mcWakeAt(now uint64) uint64 {
@@ -589,12 +819,12 @@ func (s *System) tickGated() {
 			}
 		}
 	}
-	if s.llc != nil {
-		if s.llcWakeAt(prev) <= now {
-			s.llcWakeOK = false
-			s.llc.Tick(now)
+	for b := range s.llcs {
+		if s.llcWakeAt(b, prev) <= now {
+			s.llcWakeOK[b] = false
+			s.llcs[b].Tick(now)
 		} else {
-			s.llc.AdvanceClock(now)
+			s.llcs[b].AdvanceClock(now)
 		}
 	}
 	if s.ideal != nil {
@@ -610,7 +840,9 @@ func (s *System) tickGated() {
 	} else {
 		s.mc.AdvanceClock(now)
 	}
-	s.barrier.maybeOpen()
+	for _, b := range s.barriers {
+		b.maybeOpen()
+	}
 	if s.tel != nil && now >= s.nextSampleAt {
 		stamp := now - now%s.sampleEvery
 		s.tel.Sample(stamp)
@@ -650,8 +882,10 @@ func (s *System) computeDone() bool {
 			return false
 		}
 	}
-	if s.llc != nil && s.llc.Pending() > 0 {
-		return false
+	for _, llc := range s.llcs {
+		if llc.Pending() > 0 {
+			return false
+		}
 	}
 	return s.mc.Pending() == 0
 }
@@ -669,8 +903,10 @@ func (s *System) legacyDone() bool {
 			return false
 		}
 	}
-	if s.llc != nil && s.llc.Pending() > 0 {
-		return false
+	for _, llc := range s.llcs {
+		if llc.Pending() > 0 {
+			return false
+		}
 	}
 	return s.mc.Pending() == 0
 }
@@ -890,8 +1126,10 @@ func (s *System) nextWakeup(limit uint64) uint64 {
 			return now + 1
 		}
 	}
-	if s.llc != nil && consider(s.llcWakeAt(now)) {
-		return min
+	for b := range s.llcs {
+		if consider(s.llcWakeAt(b, now)) {
+			return min
+		}
 	}
 	if s.ideal != nil && consider(s.ideal.wakeup(now)) {
 		return min
@@ -917,8 +1155,8 @@ func (s *System) advanceTo(next uint64) {
 			s.l1s[i].AdvanceClock(prev)
 			s.l2s[i].AdvanceClock(prev)
 		}
-		if s.llc != nil {
-			s.llc.AdvanceClock(prev)
+		for _, llc := range s.llcs {
+			llc.AdvanceClock(prev)
 		}
 		if s.ideal != nil {
 			s.ideal.advanceClock(prev)
@@ -935,10 +1173,10 @@ func (s *System) Snapshot() string {
 	for c := range s.cores {
 		out += fmt.Sprintf(" core%d[done=%v instr=%d gated=%v l1p=%d l2p=%d]",
 			c, s.cores[c].Done(), s.cores[c].Stats.Instructions,
-			s.barrier.gated(c), s.l1s[c].Pending(), s.l2s[c].Pending())
+			s.barriers[s.coreGrp[c]].gated(s.coreSlot[c]), s.l1s[c].Pending(), s.l2s[c].Pending())
 	}
-	if s.llc != nil {
-		out += fmt.Sprintf(" llcp=%d", s.llc.Pending())
+	for b, llc := range s.llcs {
+		out += fmt.Sprintf(" llcp%d=%d", b, llc.Pending())
 	}
 	out += fmt.Sprintf(" mcp=%d rq=%d wq=%d", s.mc.Pending(), s.mc.ReadQLen(), s.mc.WriteQLen())
 	return out
@@ -952,12 +1190,19 @@ func (s *System) collect() *Result {
 		Input:      s.app.Input,
 		Cycles:     s.cycle,
 		Iterations: s.app.Iterations,
-		IterEnd:    append([]uint64(nil), s.iterEnd...),
-		IterL2:     append([]cache.Stats(nil), s.iterSnaps...),
+		IterEnd:    append([]uint64(nil), s.iterEnd[0]...),
+		IterL2:     append([]cache.Stats(nil), s.iterSnaps[0]...),
 		DRAM:       s.mc.Stats,
 		InputBytes: s.app.InputBytes,
 		Check:      s.app.Check,
 		StateHash:  s.stateHash(),
+		CoreHashes: s.coreHashes(),
+	}
+	if len(s.groups) > 1 {
+		r.GroupIterEnd = make([][]uint64, len(s.groups))
+		for g := range s.groups {
+			r.GroupIterEnd[g] = append([]uint64(nil), s.iterEnd[g]...)
+		}
 	}
 	for c := range s.cores {
 		st := s.cores[c].Stats
@@ -965,12 +1210,21 @@ func (s *System) collect() *Result {
 		r.Instructions += st.Instructions
 		r.L1.Add(s.l1s[c].Stats)
 		r.L2.Add(s.l2s[c].Stats)
+		r.CoreL2 = append(r.CoreL2, s.l2s[c].Stats)
 		if s.engines[c] != nil {
 			addRnRStats(&r.RnR, s.engines[c].Stats)
 		}
 	}
-	if s.llc != nil {
-		r.LLC = s.llc.Stats
+	for _, llc := range s.llcs {
+		r.LLC.Add(llc.Stats)
+	}
+	if s.dir != nil {
+		st := s.dir.Stats
+		r.Coherence = &st
+	}
+	if s.xcore != nil {
+		st := s.xcore.Stats
+		r.CrossCore = &st
 	}
 	s.collectObs(r)
 	return r
@@ -1008,8 +1262,8 @@ func (s *System) Occupancy(c int) string {
 	r2, p2, w2, m2 := s.l2s[c].Occupancy()
 	out := fmt.Sprintf("rob=%d lsq=%d L1[r%d p%d w%d m%d] L2[r%d p%d w%d m%d]",
 		rob, lsq, r1, p1, w1, m1, r2, p2, w2, m2)
-	if s.llc != nil {
-		r3, p3, w3, m3 := s.llc.Occupancy()
+	for _, llc := range s.llcs {
+		r3, p3, w3, m3 := llc.Occupancy()
 		out += fmt.Sprintf(" LLC[r%d p%d w%d m%d]", r3, p3, w3, m3)
 	}
 	out += fmt.Sprintf(" DRAM[r%d w%d]", s.mc.ReadQLen(), s.mc.WriteQLen())

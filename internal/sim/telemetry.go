@@ -34,8 +34,12 @@ func (s *System) registerTelemetry() {
 			e.RegisterProbes(tel, fmt.Sprintf("rnr.c%d.", c))
 		}
 	}
-	if s.llc != nil {
-		s.llc.RegisterProbes(tel, "llc.")
+	if len(s.llcs) == 1 {
+		s.llcs[0].RegisterProbes(tel, "llc.")
+	} else {
+		for b := range s.llcs {
+			s.llcs[b].RegisterProbes(tel, fmt.Sprintf("llc.b%d.", b))
+		}
 	}
 	s.mc.RegisterProbes(tel, "dram.")
 
