@@ -59,7 +59,7 @@ func main() {
 	cores := flag.Int("cores", 0, "core-count override for the SPMD workload (0 = machine default)")
 	corun := flag.String("corun", "",
 		`multi-programmed co-run "workload.input,workload.input,...": one program per core behind a `+
-			`coherent 2-bank shared LLC (overrides -workload/-input/-cores)`)
+			`coherent 2-bank shared LLC (overrides -workload/-input; conflicts with -cores)`)
 	crosscore := flag.Bool("crosscore", false,
 		"attach the cooperative cross-core LLC prefetcher (trained on LLC miss streams, issues across cores)")
 	pfs := flag.String("prefetchers", "rnr,rnr-combined,nextline",
@@ -82,7 +82,23 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
 		"prefetcher simulations run in parallel (1 = stream rows as they finish)")
+	coreParallel := flag.Bool("core-parallel", false,
+		"run each simulated core's private domain on its own goroutine between shared-level events "+
+			"(results are byte-identical to the serial engine; no-op for 1-core and coherent co-run machines)")
+	coreParallelWorkers := flag.Int("core-parallel-workers", 0,
+		"worker-pool bound for -core-parallel (0 = GOMAXPROCS, capped at the core count)")
 	flag.Parse()
+
+	if err := validateFlags(flagValues{
+		Cores:               *cores,
+		CoRun:               *corun,
+		CrossCore:           *crosscore,
+		CoreParallel:        *coreParallel,
+		CoreParallelWorkers: *coreParallelWorkers,
+		Jobs:                *jobs,
+	}); err != nil {
+		fatal("%v", err)
+	}
 
 	stopProf, err := telemetry.StartCPUProfile(*cpuprofile)
 	if err != nil {
@@ -157,6 +173,8 @@ func main() {
 			cfg.Cores = *cores
 		}
 		cfg.CrossCore = *crosscore
+		cfg.CoreParallel = *coreParallel
+		cfg.CoreParallelWorkers = *coreParallelWorkers
 		if *auditOn {
 			cfg.Audit = &audit.Config{Interval: *auditInt}
 		}
@@ -291,6 +309,47 @@ func main() {
 	if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
 		fatal("%v", err)
 	}
+}
+
+// flagValues carries the command-line values cross-flag validation
+// needs, so the rules are testable without running main.
+type flagValues struct {
+	Cores               int
+	CoRun               string
+	CrossCore           bool
+	CoreParallel        bool
+	CoreParallelWorkers int
+	Jobs                int
+}
+
+// validateFlags rejects flag misuse at parse time, naming the offending
+// flag, instead of silently ignoring a value or failing deep inside
+// sim.Config validation with an internal config name. The two shapes it
+// exists for: a negative -cores used to be silently treated as "machine
+// default" (the build switch only tested > 0), and -crosscore without a
+// -corun job list only made sense by accident (the cross-core prefetcher
+// trains on multiple cores' LLC miss streams; with one SPMD program the
+// serving layer rejects the same combination at submission time).
+func validateFlags(v flagValues) error {
+	if v.Cores < 0 {
+		return fmt.Errorf("-cores must be positive (got %d); omit it for the machine default", v.Cores)
+	}
+	if v.CoRun != "" && v.Cores > 0 {
+		return fmt.Errorf("-cores conflicts with -corun (the co-run runs one core per job)")
+	}
+	if v.CrossCore && v.CoRun == "" && v.Cores < 2 {
+		return fmt.Errorf("-crosscore needs multiple cores: give a -corun job list or -cores >= 2")
+	}
+	if v.CoreParallelWorkers < 0 {
+		return fmt.Errorf("-core-parallel-workers must be >= 0 (got %d)", v.CoreParallelWorkers)
+	}
+	if v.CoreParallelWorkers > 0 && !v.CoreParallel {
+		return fmt.Errorf("-core-parallel-workers is set but -core-parallel is not")
+	}
+	if v.Jobs < 1 {
+		return fmt.Errorf("-j must be >= 1 (got %d)", v.Jobs)
+	}
+	return nil
 }
 
 // writeResultJSON writes one run's stamped export.

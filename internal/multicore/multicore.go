@@ -33,13 +33,20 @@ type JobSpec struct {
 func (j JobSpec) String() string { return j.Workload + "." + j.Input }
 
 // ParseJob parses "workload.input" or "workload/input" into a JobSpec.
+// The split happens at the earliest separator of either kind, so an
+// input name containing the other separator ("pagerank/web.graph")
+// stays intact; a separator in first or last position does not split.
 func ParseJob(s string) (JobSpec, error) {
+	i := -1
 	for _, sep := range []string{".", "/"} {
-		if i := strings.Index(s, sep); i > 0 && i < len(s)-1 {
-			return JobSpec{Workload: s[:i], Input: s[i+1:]}, nil
+		if j := strings.Index(s, sep); j > 0 && j < len(s)-1 && (i < 0 || j < i) {
+			i = j
 		}
 	}
-	return JobSpec{}, fmt.Errorf("multicore: job %q not of the form workload.input", s)
+	if i < 0 {
+		return JobSpec{}, fmt.Errorf("multicore: job %q not of the form workload.input", s)
+	}
+	return JobSpec{Workload: s[:i], Input: s[i+1:]}, nil
 }
 
 // Compose builds one App per job at Cores=1, relocates job k's address

@@ -19,6 +19,15 @@ func TestParseJob(t *testing.T) {
 		{"pagerank", JobSpec{}, false},
 		{".urand", JobSpec{}, false},
 		{"pagerank.", JobSpec{}, false},
+		// Separator-precedence regression: the split must happen at the
+		// earliest separator of either kind. The old code tried "." before
+		// "/" regardless of position, so "a/b.c" parsed as workload "a/b".
+		{"a/b.c", JobSpec{"a", "b.c"}, true},
+		{"a.b/c", JobSpec{"a", "b/c"}, true},
+		{"a.b.c", JobSpec{"a", "b.c"}, true},
+		{"a/b/c", JobSpec{"a", "b/c"}, true},
+		{"/urand", JobSpec{}, false},
+		{"pagerank/", JobSpec{}, false},
 	} {
 		got, err := ParseJob(tc.in)
 		if (err == nil) != tc.ok || got != tc.want {

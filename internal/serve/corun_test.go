@@ -60,16 +60,23 @@ func TestCoRunSpecValidation(t *testing.T) {
 
 	// The happy path normalizes, canonicalises separators and keys on
 	// the job list, so "/" and "." submissions coalesce.
-	dot, slash := coRunSpec(), coRunSpec()
+	dot, slash, mixed := coRunSpec(), coRunSpec(), coRunSpec()
 	slash.Jobs = []string{"pagerank/urand", "spcg/bbmat"}
+	mixed.Jobs = []string{"pagerank/urand", "spcg.bbmat"}
 	if err := dot.normalize("test"); err != nil {
 		t.Fatalf("canonical spec rejected: %v", err)
 	}
 	if err := slash.normalize("test"); err != nil {
 		t.Fatalf("slash-separated spec rejected: %v", err)
 	}
+	if err := mixed.normalize("test"); err != nil {
+		t.Fatalf("mixed-separator spec rejected: %v", err)
+	}
 	if RunJobID(dot) != RunJobID(slash) {
 		t.Errorf("separator changed the content address: %q vs %q", dot.key(), slash.key())
+	}
+	if RunJobID(dot) != RunJobID(mixed) {
+		t.Errorf("mixed separators changed the content address: %q vs %q", dot.key(), mixed.key())
 	}
 }
 

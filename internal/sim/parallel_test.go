@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"rnrsim/internal/audit"
+	"rnrsim/internal/obs"
+	"rnrsim/internal/telemetry"
+
+	"rnrsim/internal/apps"
+)
+
+// runParallel builds and runs one system with the parallel per-core
+// scheduler enabled, returning the result and the system (for the span
+// diagnostics).
+func runParallel(t *testing.T, cfg Config, app *apps.App) (*Result, *System) {
+	t.Helper()
+	cfg.CoreParallel = true
+	cfg.ForceCycleStepped = false
+	s, err := New(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+// requireParallelIdentical is the three-way differential: the parallel
+// engine vs the serial event engine vs the legacy cycle-stepped engine,
+// held to identical state hashes, per-core sub-hashes and byte-identical
+// export envelopes. Callers must pin the export clock first (in the
+// parent test when subtests run in parallel). Returns the parallel
+// system so callers can assert on span formation.
+func requireParallelIdentical(t *testing.T, cfg Config, app *apps.App) *System {
+	t.Helper()
+	rp, sp := runParallel(t, cfg, app)
+	re, _ := runEngine(t, cfg, app, false)
+	rs, _ := runEngine(t, cfg, app, true)
+	if rp.StateHash != re.StateHash {
+		t.Errorf("state hash: parallel %016x != event %016x", rp.StateHash, re.StateHash)
+	}
+	if rp.StateHash != rs.StateHash {
+		t.Errorf("state hash: parallel %016x != stepped %016x", rp.StateHash, rs.StateHash)
+	}
+	if !reflect.DeepEqual(rp.CoreHashes, re.CoreHashes) {
+		t.Errorf("core sub-hashes: parallel %v != event %v", rp.CoreHashes, re.CoreHashes)
+	}
+	bp, be, bs := exportBytes(t, rp), exportBytes(t, re), exportBytes(t, rs)
+	if !bytes.Equal(bp, be) {
+		t.Errorf("export envelope differs: parallel vs event\nparallel: %.2048s\nevent:    %.2048s", bp, be)
+	}
+	if !bytes.Equal(bp, bs) {
+		t.Errorf("export envelope differs: parallel vs stepped")
+	}
+	return sp
+}
+
+// parallelCoRunConfig is the multicore co-run machine minus the
+// coherence directory: per-core prefetchers, a banked LLC and the
+// cooperative cross-core prefetcher — everything that is window-safe
+// (the cross-core table trains and issues only inside LLC bank ticks,
+// which the horizon freezes). Coherence itself hooks private L1 demand
+// processing into the shared directory, so coherent machines keep the
+// serial engine; TestParallelCoherenceFallback covers that path.
+func parallelCoRunConfig() Config {
+	cfg := Test()
+	cfg.Cores = 2
+	cfg.PerCorePrefetchers = []PrefetcherKind{PFRnR, PFNextLine}
+	cfg.LLCBanks = 2
+	cfg.CrossCore = true
+	return cfg
+}
+
+// TestParallelDifferentialMatrix sweeps the configurations whose
+// in-window behaviour differs — every prefetcher family (demand-trained
+// and cycle-driven), audit sweeps, the lifecycle observer, the ideal
+// LLC, context switching, banked LLCs with the cross-core prefetcher,
+// and mixed per-core assignments — and holds the parallel engine to
+// byte-identical export envelopes against both serial engines.
+func TestParallelDifferentialMatrix(t *testing.T) {
+	fixedExportClock(t, time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC))
+	app := testApp(t)
+	type tcase struct {
+		name string
+		cfg  Config
+	}
+	cases := []tcase{
+		{"none", testConfig().WithPrefetcher(PFNone)},
+		{"nextline", testConfig().WithPrefetcher(PFNextLine)},
+		{"stream", testConfig().WithPrefetcher(PFStream)},
+		{"misb", testConfig().WithPrefetcher(PFMISB)},
+		{"droplet", testConfig().WithPrefetcher(PFDroplet)},
+		{"rnr", testConfig().WithPrefetcher(PFRnR)},
+		{"rnr-combined", testConfig().WithPrefetcher(PFRnRCombined)},
+	}
+
+	mixed := testConfig()
+	mixed.Name = "test+mixed"
+	mixed.PerCorePrefetchers = []PrefetcherKind{PFRnR, PFNextLine, PFStream, PFNone}
+	cases = append(cases, tcase{"mixed-per-core", mixed})
+
+	audited := testConfig().WithPrefetcher(PFRnR)
+	audited.Audit = &audit.Config{Interval: 256}
+	cases = append(cases, tcase{"rnr+audit", audited})
+
+	observed := testConfig().WithPrefetcher(PFRnR)
+	observed.Obs = &obs.Config{}
+	cases = append(cases, tcase{"rnr+obs", observed})
+
+	ideal := testConfig().WithPrefetcher(PFNone)
+	ideal.IdealLLC = true
+	cases = append(cases, tcase{"ideal-llc", ideal})
+
+	ctxCfg := testConfig().WithPrefetcher(PFRnR)
+	ctxCfg.CtxSwitch = CtxSwitchConfig{Period: 20_000, Duration: 7_000}
+	cases = append(cases, tcase{"rnr+ctx", ctxCfg})
+
+	banked := testConfig().WithPrefetcher(PFNextLine)
+	banked.LLCBanks = 2
+	cases = append(cases, tcase{"nextline+2banks", banked})
+
+	oneWorker := testConfig().WithPrefetcher(PFRnR)
+	oneWorker.Name = "test+rnr+1worker"
+	oneWorker.CoreParallelWorkers = 1
+	cases = append(cases, tcase{"rnr+1worker", oneWorker})
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			requireParallelIdentical(t, tc.cfg, app)
+		})
+	}
+}
+
+// TestParallelCoRunDifferential runs the multi-programmed co-run shape
+// (disjoint jobs, per-core prefetchers, banked LLC, cross-core
+// prefetcher) through the three-way differential, and requires that the
+// parallel scheduler actually formed domain spans — a vacuously serial
+// "parallel" run would pass any differential.
+func TestParallelCoRunDifferential(t *testing.T) {
+	fixedExportClock(t, time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC))
+	sp := requireParallelIdentical(t, parallelCoRunConfig(), coRunApp(t))
+	spans, cycles := sp.ParallelSpans()
+	if spans == 0 || cycles == 0 {
+		t.Errorf("parallel scheduler formed no domain spans (spans=%d, cycles=%d); differential is vacuous",
+			spans, cycles)
+	}
+	t.Logf("co-run: %d spans covering %d cycles of %d total", spans, cycles, sp.Cycle())
+}
+
+// TestParallelSpansForm pins, per matrix family, that quiet windows
+// actually open on the SPMD workload — the horizon terms are allowed to
+// refuse individual windows, but a family where no window ever opens
+// means the parallel path is dead code for it.
+func TestParallelSpansForm(t *testing.T) {
+	app := testApp(t)
+	for _, pf := range []PrefetcherKind{PFNone, PFNextLine, PFRnR, PFRnRCombined} {
+		pf := pf
+		t.Run(string(pf), func(t *testing.T) {
+			t.Parallel()
+			_, sp := runParallel(t, testConfig().WithPrefetcher(pf), app)
+			spans, cycles := sp.ParallelSpans()
+			if spans == 0 {
+				t.Errorf("%s: no domain spans formed over %d cycles", pf, sp.Cycle())
+			}
+			t.Logf("%s: %d spans / %d in-window cycles / %d total", pf, spans, cycles, sp.Cycle())
+		})
+	}
+}
+
+// TestParallelCoherenceFallback pins the eligibility gate: a coherent
+// machine must never open a window (the directory hooks private L1
+// demand processing into shared state), and the flag must degrade to
+// the serial engine with identical results rather than erroring.
+func TestParallelCoherenceFallback(t *testing.T) {
+	fixedExportClock(t, time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC))
+	cfg := coRunConfig() // coherent co-run machine
+	sp := requireParallelIdentical(t, cfg, coRunApp(t))
+	if spans, _ := sp.ParallelSpans(); spans != 0 {
+		t.Errorf("coherent machine ran %d parallel spans; must fall back serial", spans)
+	}
+}
+
+// TestParallelSingleCoreNoop pins the other fallback: one core has
+// nothing to overlap, so the flag is a no-op and results are identical.
+func TestParallelSingleCoreNoop(t *testing.T) {
+	fixedExportClock(t, time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC))
+	cfg := oneCoreConfig().WithPrefetcher(PFRnR)
+	app, err := apps.BuildCores("pagerank", "urand", apps.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := requireParallelIdentical(t, cfg, app)
+	if spans, _ := sp.ParallelSpans(); spans != 0 {
+		t.Errorf("1-core machine ran %d parallel spans", spans)
+	}
+}
+
+// TestParallelTelemetryJSONLIdentical extends the sampler-jump
+// regression to the parallel engine: windows must close strictly before
+// every sample event, so the JSONL series — stamps and values — is
+// byte-identical to the serial engines'.
+func TestParallelTelemetryJSONLIdentical(t *testing.T) {
+	app := testApp(t)
+	series := func(parallel bool) []byte {
+		cfg := testConfig().WithPrefetcher(PFRnR)
+		cfg.CoreParallel = parallel
+		rec := telemetry.New(telemetry.Config{SampleInterval: 1000})
+		cfg.Telemetry = rec
+		runEngine(t, cfg, app, false)
+		var buf bytes.Buffer
+		if err := rec.WriteMetricsJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	pl, ev := series(true), series(false)
+	if !bytes.Equal(pl, ev) {
+		t.Errorf("telemetry JSONL differs\nparallel: %.512s\nserial:   %.512s", pl, ev)
+	}
+}
+
+// TestParallelIssueStampRegression pins the in-window issue-stamp path:
+// prefetch-issue and RnR-metadata requests used to be stamped from the
+// shared cycle counter (s.cycle), which the parallel scheduler only
+// advances at span boundaries — in-window issues would carry the span's
+// *start* cycle. The stamps are transient (they live only while the
+// request sits in a queue, and the final state hash runs on drained
+// queues), so today's differentials cannot see the difference; the
+// per-core cycle mirror (System.coreCycle) exists to keep Request.Issue
+// exact anyway, for mid-run state hashing and any future latency
+// accounting. This test holds the configuration where in-window issues
+// are densest — cycle-driven replay prefetching under the lifecycle
+// observer — to byte-equality, and requires that spans actually formed.
+func TestParallelIssueStampRegression(t *testing.T) {
+	fixedExportClock(t, time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC))
+	cfg := testConfig().WithPrefetcher(PFRnRCombined)
+	cfg.Obs = &obs.Config{}
+	sp := requireParallelIdentical(t, cfg, testApp(t))
+	if spans, _ := sp.ParallelSpans(); spans == 0 {
+		t.Skip("no spans formed; regression not exercised on this machine shape")
+	}
+}
+
+// TestFuzzedTracesParallelDifferential is the fuzz safety net for the
+// parallel scheduler: randomized marker/load interleavings — including
+// pathological shapes — run through the parallel and serial event
+// engines, and the final state hashes, per-core sub-hashes and
+// architectural statistics must be identical. A divergence here means a
+// horizon term is unsound (a private-domain action escaped into the
+// window, or a domain observed stale shared state).
+func TestFuzzedTracesParallelDifferential(t *testing.T) {
+	seeds := make([]int64, 0, 32)
+	for s := int64(1); s <= 32; s++ {
+		seeds = append(seeds, s)
+	}
+	if testing.Short() {
+		seeds = seeds[:8]
+	}
+	for _, patho := range []bool{false, true} {
+		patho := patho
+		t.Run(fmt.Sprintf("patho=%v", patho), func(t *testing.T) {
+			t.Parallel()
+			var spansTotal uint64
+			for _, seed := range seeds {
+				fc := audit.FuzzConfig{Seed: seed, Pathological: patho}.WithDefaults()
+				app := audit.Fuzz(fc)
+				run := func(parallel bool) (*Result, *System) {
+					cfg := fuzzMachine(fc.Cores).WithPrefetcher(PFRnR)
+					cfg.CoreParallel = parallel
+					s, err := New(cfg, app)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					r, err := s.RunAll()
+					if err != nil {
+						t.Fatalf("seed %d (parallel=%v): %v", seed, parallel, err)
+					}
+					return r, s
+				}
+				pl, sp := run(true)
+				ev, _ := run(false)
+				if pl.StateHash != ev.StateHash {
+					t.Errorf("seed %d: state hash parallel %016x != serial %016x",
+						seed, pl.StateHash, ev.StateHash)
+				}
+				if !reflect.DeepEqual(pl.CoreHashes, ev.CoreHashes) {
+					t.Errorf("seed %d: core sub-hashes parallel %v != serial %v",
+						seed, pl.CoreHashes, ev.CoreHashes)
+				}
+				if pl.Cycles != ev.Cycles || pl.Instructions != ev.Instructions {
+					t.Errorf("seed %d: cycles/instructions diverged: parallel %d/%d, serial %d/%d",
+						seed, pl.Cycles, pl.Instructions, ev.Cycles, ev.Instructions)
+				}
+				if pl.L2 != ev.L2 || pl.LLC != ev.LLC || pl.DRAM != ev.DRAM {
+					t.Errorf("seed %d: memory-system stats diverged", seed)
+				}
+				spans, _ := sp.ParallelSpans()
+				spansTotal += spans
+			}
+			// The fuzz traces are load-dense and audited every 64 cycles,
+			// so individual seeds may open few windows — but across the
+			// whole pool at least some must form, or the harness is
+			// exercising nothing.
+			if spansTotal == 0 {
+				t.Error("no seed opened a single domain span; fuzz differential is vacuous")
+			}
+			t.Logf("patho=%v: %d spans across %d seeds", patho, spansTotal, len(seeds))
+		})
+	}
+}
+
+// TestFuzzedCoherentParallelDifferential mirrors the coherent fuzz
+// sweep with the parallel flag set: shared-store interleavings drive
+// the directory, the eligibility gate must keep every run serial, and
+// results must match the serial engine exactly.
+func TestFuzzedCoherentParallelDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 42, 99991, 2026}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		fc := audit.FuzzConfig{Seed: seed}.WithDefaults()
+		app := audit.Fuzz(fc)
+		run := func(parallel bool) *Result {
+			cfg := fuzzMachine(fc.Cores).WithPrefetcher(PFRnR)
+			cfg.Coherence = true
+			cfg.CoreParallel = parallel
+			s, err := New(cfg, app)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			r, err := s.RunAll()
+			if err != nil {
+				t.Fatalf("seed %d (parallel=%v): %v", seed, parallel, err)
+			}
+			return r
+		}
+		pl, ev := run(true), run(false)
+		if pl.StateHash != ev.StateHash || !reflect.DeepEqual(pl.CoreHashes, ev.CoreHashes) {
+			t.Errorf("seed %d: coherent fallback diverged: %016x/%v vs %016x/%v",
+				seed, pl.StateHash, pl.CoreHashes, ev.StateHash, ev.CoreHashes)
+		}
+	}
+}
+
+// TestParallelDeterministic pins run-to-run determinism of the parallel
+// engine itself: the pool's scheduling order varies freely between runs
+// (workers race for jobs), and none of it may leak into results.
+func TestParallelDeterministic(t *testing.T) {
+	app := testApp(t)
+	run := func() *Result {
+		r, _ := runParallel(t, testConfig().WithPrefetcher(PFRnRCombined), app)
+		return r
+	}
+	a, b := run(), run()
+	if a.StateHash != b.StateHash || !reflect.DeepEqual(a.CoreHashes, b.CoreHashes) {
+		t.Errorf("parallel runs diverged: %016x/%v vs %016x/%v",
+			a.StateHash, a.CoreHashes, b.StateHash, b.CoreHashes)
+	}
+}
