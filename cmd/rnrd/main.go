@@ -10,14 +10,29 @@
 //	     [-parallelism N] [-job-timeout 0] [-drain-timeout 30s]
 //	     [-audit] [-obs]
 //
-// See DESIGN.md ("Serving layer") for the API.
+// Cluster modes:
+//
+//	rnrd -coordinator [-heartbeat-interval 1s] [-replicate-check 0.1]
+//	    runs the scale-out coordinator instead of a worker: jobs are
+//	    routed to registered workers by consistent hashing, with health
+//	    tracking, retries and sampled cross-worker hash verification.
+//
+//	rnrd -join http://coordinator:8080 [-advertise http://me:8081]
+//	     [-worker-id w1]
+//	    runs a normal worker that registers itself with a coordinator
+//	    on startup and answers its heartbeats on /v1/worker/status.
+//
+// See DESIGN.md ("Serving layer", "Cluster layer") for the API.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -27,6 +42,7 @@ import (
 	"time"
 
 	"rnrsim/internal/audit"
+	"rnrsim/internal/cluster"
 	"rnrsim/internal/obs"
 	"rnrsim/internal/serve"
 )
@@ -46,6 +62,21 @@ func main() {
 		auditInt = flag.Uint64("audit-interval", audit.DefaultInterval, "cycles between invariant sweeps (with -audit)")
 		obsOn    = flag.Bool("obs", false,
 			"attach the prefetch-lifecycle flight recorder to every served simulation: results carry lifecycle/histogram sections and /metrics exposes obs_* histograms")
+
+		coordinator = flag.Bool("coordinator", false,
+			"run as cluster coordinator: route jobs to joined workers by consistent hashing instead of simulating locally")
+		join = flag.String("join", "",
+			"coordinator base URL to register with on startup (worker mode)")
+		advertise = flag.String("advertise", "",
+			"base URL the coordinator should dial this worker at (default http://<listen-addr>)")
+		workerID = flag.String("worker-id", "",
+			"stable worker identity for registration and routing (default the advertise address)")
+		heartbeatInterval = flag.Duration("heartbeat-interval", time.Second,
+			"coordinator health-probe period (with -coordinator)")
+		replicateCheck = flag.Float64("replicate-check", 0,
+			"fraction of dispatches duplicated to a second worker for state-hash cross-checking, 0..1 (with -coordinator)")
+		dispatchTimeout = flag.Duration("dispatch-timeout", 2*time.Minute,
+			"per-attempt dispatch cap (with -coordinator)")
 	)
 	flag.Parse()
 	var auditCfg *audit.Config
@@ -56,8 +87,16 @@ func main() {
 	if *obsOn {
 		obsCfg = &obs.Config{}
 	}
-	if err := run(*addr, *scale, *workers, *queueDepth, *parallelism,
-		*jobTimeout, *drainTimeout, *quiet, auditCfg, obsCfg); err != nil {
+	var err error
+	if *coordinator {
+		err = runCoordinator(*addr, *scale, *heartbeatInterval, *replicateCheck,
+			*dispatchTimeout, *drainTimeout, *quiet)
+	} else {
+		err = run(*addr, *scale, *workers, *queueDepth, *parallelism,
+			*jobTimeout, *drainTimeout, *quiet, auditCfg, obsCfg,
+			*join, *advertise, *workerID)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rnrd:", err)
 		os.Exit(1)
 	}
@@ -65,7 +104,8 @@ func main() {
 
 func run(addr, scale string, workers, queueDepth, parallelism int,
 	jobTimeout, drainTimeout time.Duration, quiet bool,
-	auditCfg *audit.Config, obsCfg *obs.Config) error {
+	auditCfg *audit.Config, obsCfg *obs.Config,
+	join, advertise, workerID string) error {
 	if _, ok := serve.ParseScale(scale); !ok {
 		return fmt.Errorf("unknown scale %q (have %v)", scale, serve.ScaleNames)
 	}
@@ -81,6 +121,7 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 		Parallelism:  parallelism,
 		Audit:        auditCfg,
 		Obs:          obsCfg,
+		WorkerID:     workerID,
 		Logf:         logf,
 	})
 
@@ -90,6 +131,20 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 	}
 	srv := &http.Server{Handler: serve.NewServer(mgr)}
 	log.Printf("rnrd listening on http://%s (default scale %s)", ln.Addr(), scale)
+
+	if join != "" {
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		if workerID == "" {
+			workerID = advertise
+		}
+		if err := registerWithCoordinator(join, workerID, advertise); err != nil {
+			ln.Close()
+			return fmt.Errorf("joining %s: %w", join, err)
+		}
+		log.Printf("rnrd: joined cluster at %s as %s (%s)", join, workerID, advertise)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
@@ -110,7 +165,9 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 
 	// Drain order matters: first stop accepting jobs and let in-flight
 	// work finish (watchers on open SSE streams still receive their
-	// terminal events), then close the HTTP server.
+	// terminal events), then close the HTTP server. A draining worker
+	// reports Draining over /v1/worker/status, so the coordinator stops
+	// routing to it before the listener goes away.
 	log.Printf("rnrd: signal received, draining (timeout %s)", drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -123,5 +180,95 @@ func run(addr, scale string, workers, queueDepth, parallelism int,
 		srv.Close()
 	}
 	log.Printf("rnrd: shutdown complete")
+	return nil
+}
+
+// registerWithCoordinator announces this worker to the coordinator,
+// retrying briefly so worker and coordinator processes can start in
+// either order.
+func registerWithCoordinator(base, id, advertise string) error {
+	body, _ := json.Marshal(struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}{id, advertise})
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+		resp, err := http.Post(base+"/v1/cluster/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+		if resp.StatusCode == http.StatusBadRequest {
+			return lastErr // not transient: bad id/url
+		}
+	}
+	return lastErr
+}
+
+// runCoordinator serves the cluster front-end: no local simulation,
+// just routing, health and sweeps.
+func runCoordinator(addr, scale string, heartbeatInterval time.Duration,
+	replicateCheck float64, dispatchTimeout, drainTimeout time.Duration, quiet bool) error {
+	if _, ok := serve.ParseScale(scale); !ok {
+		return fmt.Errorf("unknown scale %q (have %v)", scale, serve.ScaleNames)
+	}
+	if replicateCheck < 0 || replicateCheck > 1 {
+		return fmt.Errorf("replicate-check %v outside [0,1]", replicateCheck)
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	coord := cluster.NewCoordinator(cluster.Config{
+		DefaultScale:      scale,
+		HeartbeatInterval: heartbeatInterval,
+		ReplicateCheck:    replicateCheck,
+		DispatchTimeout:   dispatchTimeout,
+		Logf:              logf,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	srv := &http.Server{Handler: cluster.NewServer(coord)}
+	log.Printf("rnrd coordinator listening on http://%s (default scale %s)", ln.Addr(), scale)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		coord.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("rnrd coordinator: signal received, shutting down (timeout %s)", drainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	coord.Close()
+	log.Printf("rnrd coordinator: shutdown complete")
 	return nil
 }

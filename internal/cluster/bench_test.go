@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rnrsim/internal/serve"
+	"rnrsim/internal/telemetry"
+)
+
+// stubWorker answers dispatches instantly with a canned done view, so
+// the benchmark measures coordinator overhead (routing, HTTP, retry
+// machinery), not simulation time.
+func stubWorker(b *testing.B, id string) string {
+	b.Helper()
+	view, err := json.Marshal(serve.JobView{
+		ID:     "stub",
+		Kind:   serve.KindRun,
+		State:  serve.StateDone,
+		Result: json.RawMessage(`{"state_hash":"00deadbeef00"}`),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	status, _ := json.Marshal(serve.WorkerStatus{WorkerID: id})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/v1/worker/status" {
+			w.Write(status)
+			return
+		}
+		w.Write(view)
+	}))
+	b.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// BenchmarkClusterDispatch measures coordinator dispatch throughput
+// (jobs/s) against 1 and 2 in-process stub workers: the cost of
+// consistent-hash routing plus one proxied HTTP round-trip per job.
+func BenchmarkClusterDispatch(b *testing.B) {
+	// Distinct keys so routing exercises the whole ring rather than
+	// one cached arc.
+	prefetchers := []string{"none", "nextline", "stream", "ghb", "bingo", "rnr"}
+	inputs := []string{"urand", "amazon", "com-orkut", "roadUSA"}
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			c := NewCoordinator(Config{
+				DefaultScale:      "test",
+				HeartbeatInterval: time.Hour, // out of the measurement
+				Registry:          telemetry.NewRegistry(),
+			})
+			defer c.Close()
+			for i := 0; i < n; i++ {
+				id := fmt.Sprintf("w%d", i)
+				if err := c.AddWorker(id, stubWorker(b, id)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					spec := serve.RunSpec{
+						Workload:   "pagerank",
+						Input:      inputs[i%len(inputs)],
+						Prefetcher: prefetchers[i%len(prefetchers)],
+						Scale:      "test",
+					}
+					if _, err := c.Dispatch(ctx, spec); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual nodes per member. 64 points
+// per worker keeps the load split within a few percent of even for
+// small clusters without making membership changes expensive.
+const ringReplicas = 64
+
+// ring is a consistent-hash ring over worker IDs. Keys (content-
+// addressed job IDs) map to the first virtual node clockwise from the
+// key's hash, so the shard a job lands on is a pure function of the
+// job content and the live membership — the worker-side result caches
+// shard naturally, and a membership change only remaps the keys that
+// hashed onto the lost (or gained) arc.
+//
+// ring is not safe for concurrent use; the Coordinator guards it.
+type ring struct {
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+func newRing() *ring {
+	return &ring{members: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a diffuses trailing bytes weakly into the high bits, and the
+	// ring orders points by exactly those bits — sequential vnode
+	// labels ("w1#0".."w1#63") would cluster into a few arcs and skew
+	// the load badly. A murmur3-style finalizer restores avalanche.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// add inserts a member (no-op if present).
+func (r *ring) add(id string) {
+	if r.members[id] {
+		return
+	}
+	r.members[id] = true
+	for i := 0; i < ringReplicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(id + "#" + strconv.Itoa(i)),
+			id:   id,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// remove deletes a member (no-op if absent).
+func (r *ring) remove(id string) {
+	if !r.members[id] {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// size returns the member count.
+func (r *ring) size() int { return len(r.members) }
+
+// pick maps a key to its owner, skipping excluded members: the first
+// virtual node clockwise from hash(key) whose owner is not excluded.
+// ok is false when every member is excluded (or the ring is empty) —
+// the caller has run out of candidates.
+func (r *ring) pick(key string, excluded map[string]bool) (id string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	candidates := 0
+	for m := range r.members {
+		if !excluded[m] {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !excluded[p.id] {
+			return p.id, true
+		}
+	}
+	return "", false
+}

@@ -87,6 +87,16 @@ type RunSpec struct {
 	// Detach opts the job out of abandonment cancellation: it runs to
 	// completion even if every watching client disconnects.
 	Detach bool `json:"detach,omitempty"`
+	// LeaseSeconds, when > 0, puts the job under a renewable lease: if
+	// the lease is not renewed (POST /v1/runs/{id}/lease) within the
+	// window, the job is cancelled. This is the worker-mode contract a
+	// cluster coordinator dispatches under — a coordinator that dies
+	// mid-dispatch stops renewing and the worker reclaims the slot
+	// instead of simulating for a client that will never read the
+	// result. The lease does not participate in the content address, so
+	// leased and unleased submissions of the same spec coalesce (a
+	// coalesced resubmission renews an existing lease).
+	LeaseSeconds int `json:"lease_seconds,omitempty"`
 }
 
 // ParseScale maps a wire scale name to apps.Scale.
@@ -105,12 +115,23 @@ func ParseScale(name string) (apps.Scale, bool) {
 // ScaleNames lists the accepted wire scale names.
 var ScaleNames = []string{"test", "bench", "large"}
 
+// Normalize validates the spec and fills defaults (the exported form
+// the cluster coordinator uses before dispatching). It is deliberately
+// strict: everything a job would panic or spin on later is rejected at
+// submission time with a client error.
+func (sp *RunSpec) Normalize(defaultScale string) error {
+	return sp.normalize(defaultScale)
+}
+
 // normalize validates the spec and fills defaults. It is deliberately
 // strict: everything a job would panic or spin on later is rejected at
 // submission time with a client error.
 func (sp *RunSpec) normalize(defaultScale string) error {
 	if sp.Scale == "" {
 		sp.Scale = defaultScale
+	}
+	if sp.LeaseSeconds < 0 {
+		return fmt.Errorf("lease_seconds must be >= 0 (got %d)", sp.LeaseSeconds)
 	}
 	if _, ok := ParseScale(sp.Scale); !ok {
 		return fmt.Errorf("unknown scale %q (have %v)", sp.Scale, ScaleNames)
@@ -211,7 +232,7 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	log    *eventLog
+	log    *EventLog
 	done   chan struct{}
 
 	mu          sync.Mutex
@@ -222,7 +243,9 @@ type Job struct {
 	started     time.Time
 	finished    time.Time
 	watchers    int
-	onAbandoned func(*Job) // set by the manager; called outside mu
+	lease       *time.Timer   // nil when the job is not leased
+	leaseTTL    time.Duration // renewal window while leased
+	onAbandoned func(*Job)    // set by the manager; called outside mu
 }
 
 func newJob(base context.Context, id, kind string, spec RunSpec, experiment string, timeout time.Duration) *Job {
@@ -237,13 +260,32 @@ func newJob(base context.Context, id, kind string, spec RunSpec, experiment stri
 		Experiment: experiment,
 		ctx:        ctx,
 		cancel:     cancel,
-		log:        newEventLog(),
+		log:        NewEventLog(),
 		done:       make(chan struct{}),
 		state:      StateQueued,
 		created:    nowFn(),
 	}
-	j.log.publish(Event{Type: EventState, State: StateQueued})
+	if spec.LeaseSeconds > 0 {
+		j.leaseTTL = time.Duration(spec.LeaseSeconds) * time.Second
+		j.lease = time.AfterFunc(j.leaseTTL, func() {
+			j.Cancel("lease expired")
+		})
+	}
+	j.log.Publish(Event{Type: EventState, State: StateQueued})
 	return j
+}
+
+// RenewLease resets a leased job's expiry window. It reports whether
+// the job holds a live lease (an unleased or already-terminal job
+// returns false). The renewed TTL is the one the job was created with.
+func (j *Job) RenewLease() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.lease == nil || j.state.Terminal() {
+		return false
+	}
+	j.lease.Reset(j.leaseTTL)
+	return true
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -267,7 +309,7 @@ func (j *Job) setRunning() bool {
 	j.state = StateRunning
 	j.started = nowFn()
 	j.mu.Unlock()
-	j.log.publish(Event{Type: EventState, State: StateRunning})
+	j.log.Publish(Event{Type: EventState, State: StateRunning})
 	return true
 }
 
@@ -284,9 +326,12 @@ func (j *Job) finish(state JobState, result json.RawMessage, errMsg string) {
 	j.result = result
 	j.errMsg = errMsg
 	j.finished = nowFn()
+	if j.lease != nil {
+		j.lease.Stop()
+	}
 	j.mu.Unlock()
-	j.log.publish(Event{Type: EventState, State: state, Error: errMsg})
-	j.log.closeLog()
+	j.log.Publish(Event{Type: EventState, State: state, Error: errMsg})
+	j.log.Close()
 	j.cancel() // release the timeout timer / subtree
 	close(j.done)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"slices"
 	"time"
@@ -61,9 +62,14 @@ type Options struct {
 	// JobTimeout caps one job's total lifetime (queue wait included).
 	// 0 means no timeout.
 	JobTimeout time.Duration
-	// RetryAfter is the backpressure hint attached to 429 responses.
-	// Default 2s.
+	// RetryAfter is the backpressure hint attached to 429 responses,
+	// jittered ±25% per response so synchronized clients do not
+	// stampede back in lockstep. Default 2s.
 	RetryAfter time.Duration
+	// WorkerID names this daemon in a cluster: it is reported by the
+	// /v1/worker/status heartbeat responder so a coordinator can tell
+	// workers apart. Empty outside worker mode.
+	WorkerID string
 	// Parallelism is handed to each bench.Suite (the width of
 	// experiment prewarms). 0 means GOMAXPROCS.
 	Parallelism int
@@ -261,6 +267,7 @@ func (m *Manager) submit(id, kind string, spec RunSpec, experiment string) (*Job
 		if st != StateFailed && st != StateCanceled {
 			m.cCoalesced.Inc()
 			m.mu.Unlock()
+			existing.RenewLease() // a coalesced resubmission keeps the lease alive
 			return existing, false, nil
 		}
 		// Previous generation is dead: fall through and replace it.
@@ -318,8 +325,82 @@ func (m *Manager) Watch(j *Job) (release func()) {
 	return func() { once.Do(j.removeWatcher) }
 }
 
-// RetryAfter returns the backpressure hint for 429 responses.
+// RetryAfter returns the configured base backpressure hint for 429
+// responses (before jitter).
 func (m *Manager) RetryAfter() time.Duration { return m.opts.RetryAfter }
+
+// RetryAfterJitterFrac is the relative spread applied to every
+// Retry-After hint: the served value is uniform in base ± 25%.
+const RetryAfterJitterFrac = 0.25
+
+// RetryAfterJittered returns the backpressure hint for one 429
+// response: the configured base randomized ±25% so that a fleet of
+// clients rejected in the same instant does not retry in the same
+// instant too (a fixed hint synchronizes the stampede it exists to
+// spread). Never below one second.
+func (m *Manager) RetryAfterJittered() time.Duration {
+	return JitterDuration(m.opts.RetryAfter, RetryAfterJitterFrac)
+}
+
+// JitterDuration spreads d uniformly over [d*(1-frac), d*(1+frac)],
+// clamped below at one second.
+func JitterDuration(d time.Duration, frac float64) time.Duration {
+	if d <= 0 {
+		return time.Second
+	}
+	lo := float64(d) * (1 - frac)
+	span := float64(d) * 2 * frac
+	out := time.Duration(lo + rand.Float64()*span)
+	if out < time.Second {
+		out = time.Second
+	}
+	return out
+}
+
+// RenewLease renews a leased job's expiry window by content address.
+// ErrUnknownJob for addresses never submitted; false when the job
+// exists but holds no live lease.
+func (m *Manager) RenewLease(id string) (bool, error) {
+	j, err := m.Job(id)
+	if err != nil {
+		return false, err
+	}
+	return j.RenewLease(), nil
+}
+
+// WorkerStatus is the heartbeat responder's payload: enough for a
+// coordinator to judge health and load in one cheap GET.
+type WorkerStatus struct {
+	SchemaVersion string `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+
+	WorkerID   string `json:"worker_id,omitempty"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Active     int    `json:"active"`
+	JobsDone   uint64 `json:"jobs_done"`
+	JobsFailed uint64 `json:"jobs_failed"`
+}
+
+// WorkerStatus snapshots the manager for the heartbeat responder.
+func (m *Manager) WorkerStatus() WorkerStatus {
+	schema, generated := sim.Stamp()
+	m.mu.Lock()
+	draining, active := m.draining, m.active
+	m.mu.Unlock()
+	return WorkerStatus{
+		SchemaVersion: schema,
+		GeneratedAt:   generated,
+		WorkerID:      m.opts.WorkerID,
+		Draining:      draining,
+		QueueDepth:    len(m.queue),
+		QueueCap:      m.opts.QueueDepth,
+		Active:        active,
+		JobsDone:      m.cDone.Load(),
+		JobsFailed:    m.cFailed.Load(),
+	}
+}
 
 // Draining reports whether shutdown has begun.
 func (m *Manager) Draining() bool {
@@ -396,7 +477,7 @@ func (m *Manager) runJob(j *Job) {
 
 	ctx := bench.WithProgress(j.ctx, func(ev bench.ProgressEvent) {
 		m.cPhaseTicks.Inc()
-		j.log.publish(Event{Type: EventPhase, Phase: &PhaseRef{
+		j.log.Publish(Event{Type: EventPhase, Phase: &PhaseRef{
 			Key:       ev.Key,
 			Iteration: ev.Iteration,
 			Cycle:     ev.Cycle,

@@ -39,8 +39,10 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/runs/{id}/lease", s.handleRenewLease)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
+	s.mux.HandleFunc("GET /v1/worker/status", s.handleWorkerStatus)
 	return s
 }
 
@@ -78,7 +80,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		secs := int(s.m.RetryAfter().Seconds())
+		secs := int(s.m.RetryAfterJittered().Seconds())
 		if secs < 1 {
 			secs = 1
 		}
@@ -211,52 +213,42 @@ func (s *Server) waitForJob(w http.ResponseWriter, r *http.Request, j *Job) bool
 
 // handleEvents is the SSE stream: retained history replays first (so a
 // late subscriber still sees queued/running), then live events follow
-// until the job is terminal. The subscriber is a watcher: when the last
-// one disconnects from a non-detached active job, the job is cancelled.
+// until the job is terminal. A reconnecting client that presents
+// Last-Event-ID (or ?last_event_id=N) replays only the events it
+// missed. The subscriber is a watcher: when the last one disconnects
+// from a non-detached active job, the job is cancelled.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.m.Job(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
 	release := s.m.Watch(j)
 	defer release()
+	StreamSSE(w, r, j.log)
+}
 
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	history, live, cancel := j.log.subscribe()
-	defer cancel()
-	for _, ev := range history {
-		if ev.WriteSSE(w) != nil {
-			return
-		}
-	}
-	flusher.Flush()
-	if live == nil { // already terminal: history is complete
+// handleRenewLease resets a leased job's expiry window. 404 for
+// unknown addresses, 409 when the job exists but holds no live lease
+// (never leased, or already terminal).
+func (s *Server) handleRenewLease(w http.ResponseWriter, r *http.Request) {
+	renewed, err := s.m.RenewLease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	for {
-		select {
-		case ev, ok := <-live:
-			if !ok { // log closed: terminal event already delivered
-				return
-			}
-			if ev.WriteSSE(w) != nil {
-				return
-			}
-			flusher.Flush()
-		case <-r.Context().Done():
-			return
-		}
+	if !renewed {
+		writeError(w, http.StatusConflict, "job holds no live lease")
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"renewed":true}`)
+}
+
+// handleWorkerStatus is the cluster heartbeat responder: one cheap GET
+// a coordinator polls to judge this worker's health and load.
+func (s *Server) handleWorkerStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.WorkerStatus())
 }
 
 // ExperimentInfo is one row of the experiment registry listing.

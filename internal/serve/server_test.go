@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -280,8 +281,11 @@ func TestHTTPQueueFull(t *testing.T) {
 	if r3.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit status = %d, want 429", r3.StatusCode)
 	}
-	if ra := r3.Header.Get("Retry-After"); ra != "7" {
-		t.Errorf("Retry-After = %q, want \"7\"", ra)
+	// The hint is jittered ±25% around the 7s base: any integer second
+	// in [5.25, 8.75] truncates into {5..8}.
+	ra, err := strconv.Atoi(r3.Header.Get("Retry-After"))
+	if err != nil || ra < 5 || ra > 8 {
+		t.Errorf("Retry-After = %q, want an int in [5, 8] (7s base ±25%%)", r3.Header.Get("Retry-After"))
 	}
 }
 

@@ -77,6 +77,22 @@ func (g *Gauge) Load() float64 {
 	return bitsFloat(g.bits.Load())
 }
 
+// Add shifts the gauge by delta atomically (CAS loop), for gauges that
+// track a level through +1/-1 pairs — e.g. the cluster coordinator's
+// in-flight sweep dispatches — where Set would lose concurrent
+// updates. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Probe is a pull-style gauge, polled once per sample with the current
 // cycle so rate probes can compute deltas.
 type Probe func(cycle uint64) float64

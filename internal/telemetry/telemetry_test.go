@@ -22,6 +22,7 @@ func TestDisabledFastPathAllocatesNothing(t *testing.T) {
 		cnt.Add(3)
 		_ = cnt.Load()
 		g.Set(1.5)
+		g.Add(2.5)
 		_ = g.Load()
 		rec.Probe("x", probe)
 		rec.Sample(42)
@@ -32,6 +33,33 @@ func TestDisabledFastPathAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestGaugeAdd pins delta-gauge semantics: concurrent +1/-1 pairs net
+// to zero (Set would lose updates under the same interleaving).
+func TestGaugeAdd(t *testing.T) {
+	g := NewRegistry().Gauge("level")
+	g.Set(10)
+	g.Add(2.5)
+	g.Add(-0.5)
+	if got := g.Load(); got != 12 {
+		t.Fatalf("Load = %v after 10+2.5-0.5, want 12", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 12 {
+		t.Fatalf("Load = %v after balanced concurrent Adds, want 12", got)
 	}
 }
 
